@@ -1,0 +1,15 @@
+"""Bench: goodput degradation from co-located piconets (extension)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_interference
+
+
+def bench_ext_interference(benchmark, bench_report):
+    result = run_once(benchmark, ext_interference.run)
+    bench_report(result)
+    loss = [row[2] for row in result.rows]
+    collisions = [row[3] for row in result.rows]
+    assert loss[0] == 0.0
+    assert collisions[0] == 0          # a lone piconet never collides
+    assert collisions[-1] > collisions[1] > 0
+    assert loss[-1] < 35.0             # degradation is graceful, not a cliff

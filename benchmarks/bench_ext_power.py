@@ -1,0 +1,13 @@
+"""Bench: power per lifecycle phase (paper-goal extension)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_power_lifecycle
+
+
+def bench_ext_power(benchmark, bench_report):
+    result = run_once(benchmark, ext_power_lifecycle.run)
+    bench_report(result)
+    power = {row[0]: row[2] for row in result.rows}
+    assert power["inquiry scan"] > 10 * power["active"]
+    assert power["sniff (T=100)"] < power["active"]
+    assert power["park (beacon=200)"] < power["active"]

@@ -1,0 +1,18 @@
+"""Bench: packet-type throughput vs BER (paper-goal extension)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_packet_throughput
+
+
+def bench_ext_throughput(benchmark, bench_report):
+    result = run_once(benchmark, ext_packet_throughput.run)
+    bench_report(result)
+    # zero-noise goodput approaches the spec's asymmetric maxima
+    zero = result.rows[0]
+    headers = result.headers
+    dh5 = zero[headers.index("DH5")]
+    dm1 = zero[headers.index("DM1")]
+    assert 650 < dh5 < 760      # nominal 723.2 kb/s
+    assert 100 < dm1 < 115      # nominal 108.8 kb/s
+    # at high BER the unprotected long packet loses to FEC/short packets
+    assert result.rows[-1][headers.index("best")] in ("DM1", "DM3")

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Fig. 5 (piconet-creation waveforms)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_piconet_waveforms
+
+
+def bench_fig05(benchmark, bench_report):
+    result = run_once(benchmark, fig05_piconet_waveforms.run)
+    bench_report(result)
+    assert all(row[-1] == "yes" for row in result.rows)

@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Fig. 6 (mean inquiry slots vs BER)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_inquiry_ber
+
+
+def bench_fig06(benchmark, bench_report):
+    result = run_once(benchmark, fig06_inquiry_ber.run)
+    bench_report(result)
+    # paper shape: ~1556 slots at zero noise, all points same order of magnitude
+    at_zero = result.rows[0][1]
+    assert 800 < at_zero < 2600

@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 7 (mean page slots vs BER)."""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig07_page_ber
+
+
+def bench_fig07(benchmark, bench_report):
+    result = run_once(benchmark, fig07_page_ber.run)
+    bench_report(result)
+    # paper shape: ~17 slots at zero noise, steep growth, collapse at 1/30
+    assert result.rows[0][1] < 40
+    completed = [int(row[3].split("/")[0]) for row in result.rows]
+    assert completed[-1] <= completed[0] // 2  # heavy attrition by 1/30
+    grown = [row[1] for row in result.rows if not math.isnan(row[1])]
+    assert grown[-1] > 3 * grown[0]

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 8 (piconet-creation failure vs BER)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_failure_probability
+
+
+def bench_fig08(benchmark, bench_report):
+    result = run_once(benchmark, fig08_failure_probability.run)
+    bench_report(result)
+    page_fail = [row[2] for row in result.rows]
+    # paper shape: page failure low at 1/100, ~100 % by 1/30
+    assert page_fail[1] <= 35.0
+    assert page_fail[-1] >= 70.0

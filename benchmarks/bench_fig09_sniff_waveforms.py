@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Fig. 9 (sniff-mode waveforms)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_sniff_waveforms
+
+
+def bench_fig09(benchmark, bench_report):
+    result = run_once(benchmark, fig09_sniff_waveforms.run)
+    bench_report(result)
+    assert all(row[-1] == "yes" for row in result.rows)

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 10 (master RF activity vs duty cycle)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_master_rf_activity
+
+
+def bench_fig10(benchmark, bench_report):
+    result = run_once(benchmark, fig10_master_rf_activity.run)
+    bench_report(result)
+    tx = [row[1] for row in result.rows]
+    rx = [row[2] for row in result.rows]
+    assert tx == sorted(tx) and rx == sorted(rx)  # both linear/monotone
+    assert all(t > r for t, r in zip(tx, rx))     # TX above RX
+    assert tx[-1] < 1.0                           # < 1 % at 2 % duty

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 11 (slave RF activity vs Tsniff)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_sniff_rf_activity
+
+
+def bench_fig11(benchmark, bench_report):
+    result = run_once(benchmark, fig11_sniff_rf_activity.run)
+    bench_report(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows[20][3] == "no"    # sniff loses below the crossover
+    assert rows[100][3] == "yes"  # and wins at Tsniff = 100
+    sniff = [row[1] for row in result.rows]
+    assert sniff == sorted(sniff, reverse=True)  # ~1/Tsniff

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 12 (slave RF activity vs Thold)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_hold_rf_activity
+
+
+def bench_fig12(benchmark, bench_report):
+    result = run_once(benchmark, fig12_hold_rf_activity.run)
+    bench_report(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows[30][3] == "no"     # hold loses at Thold = 30
+    assert rows[480][3] == "yes"   # and wins well past the ~120 crossover
+    hold = [row[1] for row in result.rows]
+    assert hold == sorted(hold, reverse=True)  # ~1/Thold

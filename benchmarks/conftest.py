@@ -1,0 +1,42 @@
+"""Benchmark harness support.
+
+Every bench regenerates one paper figure/table via its experiment module,
+prints the same rows the paper plots, and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
+
+Trial counts follow the experiments' defaults; set the ``REPRO_TRIALS``
+environment variable to scale them up or down.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def bench_report(capsys):
+    """Returns a callable that prints + archives an ExperimentResult."""
+
+    def report(result):
+        text = result.to_table()
+        with capsys.disabled():
+            print()
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+        return result
+
+    return report
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark an experiment with a single timed round (the experiments
+    are Monte Carlo sweeps; wall-clock per regeneration is the quantity of
+    interest, not micro-timing)."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

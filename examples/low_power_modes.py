@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Walk one slave through active, sniff, hold and park, measuring RF
+activity and average power in each mode — the paper's section 3.2 story
+(Figs. 9, 11, 12) in one script.
+
+Run:  python examples/low_power_modes.py
+"""
+
+from repro import HoldParams, PacketType, Session
+from repro.link.traffic import PeriodicTraffic
+from repro.power.model import PowerModel
+from repro.power.report import format_activity, format_power
+
+
+def main() -> None:
+    session = Session(seed=11)
+    master = session.add_device("master")
+    slave = session.add_device("slave")
+    page = session.run_page(master, slave)
+    assert page.success
+    am = page.am_addr
+
+    traffic = PeriodicTraffic(master, am, period_slots=100,
+                              ptype=PacketType.DM1, payload_len=17)
+    traffic.start()
+    probe = session.probe(slave)
+    model = PowerModel()
+
+    def measure(label: str, slots: int, sleepy: bool) -> None:
+        probe.reset()
+        session.run_slots(slots)
+        sample = probe.sample()
+        report = model.report(sample, sleep_fraction=0.9 if sleepy else 0.0)
+        print(format_activity(label, sample))
+        print(format_power("", report))
+
+    print("== active mode ==")
+    measure("active", 4000, sleepy=False)
+
+    print("== sniff mode (Tsniff = 100 slots) ==")
+    master.lm.request_sniff(am, t_sniff_slots=100, n_attempt_slots=1)
+    session.run_slots(100)
+    measure("sniff", 4000, sleepy=True)
+    master.lm.request_unsniff(am)
+    session.run_slots(200)
+
+    print("== hold mode (Thold = 1000 slots) ==")
+    master.connection_master.set_hold(am, HoldParams(hold_slots=1000))
+    slave.connection_slave.enter_hold(HoldParams(hold_slots=1000))
+    measure("hold", 1200, sleepy=True)
+
+    print("== park mode (beacon every 200 slots) ==")
+    session.run_slots(100)  # finish resynchronising
+    master.lm.request_park(am, beacon_interval_slots=200, pm_addr=1)
+    session.run_slots(100)
+    measure("park", 4000, sleepy=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517/660 builds are unavailable; this shim lets ``pip install -e .`` use
+the classic setuptools develop path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — system-level executable model of the Bluetooth 1.2 lower stack.
+
+A Python reproduction of Conti & Moretti, "System Level Analysis of the
+Bluetooth Standard" (DATE 2005): behavioural Link Manager + Baseband layers
+on a SystemC-like discrete-event kernel, with a noisy channel model, used
+to study piconet-creation robustness and the power savings of the sniff,
+hold and park modes.
+
+Public entry points:
+
+* :class:`repro.Session` — build devices, run inquiry/page, form piconets;
+* :mod:`repro.experiments` — one module per paper figure;
+* :mod:`repro.sim` — the simulation kernel (reusable on its own).
+"""
+
+from repro.api import PiconetHandle, Session
+from repro.baseband.address import BdAddr, GIAC_LAP
+from repro.baseband.packets import Packet, PacketType
+from repro.config import LinkConfig, NoiseConfig, RfConfig, SimulationConfig
+from repro.link.device import BluetoothDevice
+from repro.link.piconet import HoldParams, ParkParams, SniffParams
+from repro.link.states import ConnectionMode, DeviceState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BdAddr",
+    "BluetoothDevice",
+    "ConnectionMode",
+    "DeviceState",
+    "GIAC_LAP",
+    "HoldParams",
+    "LinkConfig",
+    "NoiseConfig",
+    "Packet",
+    "PacketType",
+    "ParkParams",
+    "PiconetHandle",
+    "RfConfig",
+    "Session",
+    "SimulationConfig",
+    "SniffParams",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Command-line interface: run any registered experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig07 [--trials 30] [--seed 5]
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'System Level Analysis of the "
+                    "Bluetooth Standard' (DATE 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list registered experiments")
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment",
+                            help="experiment id (e.g. fig07) or 'all'")
+    run_parser.add_argument("--trials", type=int, default=None,
+                            help="Monte Carlo trials per point")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="master seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    for target in targets:
+        started = time.time()
+        try:
+            result = run_experiment(target, **kwargs)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        print(result.to_table())
+        print(f"[{target} in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Access codes: 64-bit sync words from a (64,30) BCH code + PN scrambling.
+
+Spec v1.2 Part B §6.3.3: the sync word protects a 30-bit information part
+(the 24-bit LAP plus a 6-bit Barker extension) with 34 BCH parity bits; the
+whole codeword is scrambled with a fixed 64-bit PN sequence so that
+different LAPs give large mutual Hamming distances.
+
+The receiver is a sliding correlator: it accepts a sync word whose Hamming
+distance from the expected one is at most a threshold (default 7, i.e. the
+classic "57 of 64" correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseband.bits import hamming_distance
+from repro.baseband.lfsr import remainder_bits
+
+#: BCH(64,30) generator polynomial, octal 260534236651 (degree 34).
+BCH_POLY = 0o260534236651
+BCH_DEGREE = 34
+
+#: Fixed 64-bit PN scrambling sequence from the spec.
+PN_SEQUENCE = 0x83848D96BBCC54FC
+
+#: Barker extensions appended to the LAP (chosen by the LAP's MSB).
+BARKER_MSB0 = 0b001101
+BARKER_MSB1 = 0b110010
+
+PREAMBLE_LEN = 4
+SYNC_LEN = 64
+TRAILER_LEN = 4
+
+#: Air lengths: an ID packet is the 68-bit access code alone; a full access
+#: code preceding a header adds the 4-bit trailer.
+ID_CODE_LEN = PREAMBLE_LEN + SYNC_LEN
+FULL_CODE_LEN = PREAMBLE_LEN + SYNC_LEN + TRAILER_LEN
+
+_PN_BITS = np.array([(PN_SEQUENCE >> (63 - i)) & 1 for i in range(64)], dtype=np.uint8)
+
+
+def sync_word(lap: int) -> np.ndarray:
+    """The 64-bit sync word for a LAP (MSB-first bit array)."""
+    if not 0 <= lap < (1 << 24):
+        raise ValueError(f"LAP out of range: {lap:#x}")
+    msb = (lap >> 23) & 1
+    barker = BARKER_MSB1 if msb else BARKER_MSB0
+    info = (lap << 6) | barker  # 30 bits, MSB-first
+    info_bits = np.array([(info >> (29 - i)) & 1 for i in range(30)], dtype=np.uint8)
+    scrambled_info = info_bits ^ _PN_BITS[:30]
+    # remainder_bits computes remainder(info * x^34) == the systematic parity
+    parity = remainder_bits(scrambled_info, BCH_POLY, BCH_DEGREE)
+    codeword = np.concatenate([scrambled_info, parity])
+    return (codeword ^ _PN_BITS).astype(np.uint8)
+
+
+def sync_word_valid(word: np.ndarray) -> bool:
+    """Check BCH consistency of a sync word (after descrambling)."""
+    if len(word) != SYNC_LEN:
+        raise ValueError("sync word must be 64 bits")
+    descrambled = word.astype(np.uint8) ^ _PN_BITS
+    remainder = remainder_bits(descrambled, BCH_POLY, BCH_DEGREE)
+    return not remainder.any()
+
+
+@dataclass(frozen=True)
+class AccessCode:
+    """A concrete access code (CAC, DAC, GIAC or DIAC) for one LAP."""
+
+    lap: int
+
+    @property
+    def sync(self) -> np.ndarray:
+        """The 64-bit sync word."""
+        return sync_word(self.lap)
+
+    def id_bits(self) -> np.ndarray:
+        """The 68 bits of an ID packet: preamble + sync word."""
+        sync = self.sync
+        preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
+        return np.concatenate([preamble, sync])
+
+    def full_bits(self) -> np.ndarray:
+        """The 72 bits of an access code followed by a header."""
+        sync = self.sync
+        preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
+        trailer = _alternating(start=int(sync[-1] ^ 1), length=TRAILER_LEN)
+        return np.concatenate([preamble, sync, trailer])
+
+    def correlate(self, received_sync: np.ndarray, threshold: int = 7) -> bool:
+        """Sliding-correlator decision: accept if at most ``threshold`` of the
+        64 sync bits disagree."""
+        if len(received_sync) != SYNC_LEN:
+            raise ValueError("correlate() expects the 64 sync bits")
+        return hamming_distance(self.sync, received_sync) <= threshold
+
+
+def _alternating(start: int, length: int) -> np.ndarray:
+    """An alternating 0101/1010 run beginning with ``start``."""
+    out = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        out[i] = (start + i) & 1
+    return out

@@ -1,0 +1,76 @@
+"""Bluetooth device addresses (BD_ADDR) and inquiry access codes.
+
+A BD_ADDR is 48 bits: LAP (24, lower address part), UAP (8), NAP (16).
+The LAP seeds the device access code (DAC) used to page the device; the
+master's LAP seeds the channel access code (CAC) of its piconet; the
+reserved GIAC/DIAC LAPs seed the inquiry access codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: General Inquiry Access Code LAP — common to all Bluetooth devices.
+GIAC_LAP = 0x9E8B33
+
+#: First/last LAP reserved for dedicated inquiry access codes.
+DIAC_FIRST_LAP = 0x9E8B00
+DIAC_LAST_LAP = 0x9E8B3F
+
+
+@dataclass(frozen=True, order=True)
+class BdAddr:
+    """A 48-bit Bluetooth device address.
+
+    Attributes:
+        lap: lower address part, 24 bits.
+        uap: upper address part, 8 bits.
+        nap: non-significant address part, 16 bits.
+    """
+
+    lap: int
+    uap: int = 0
+    nap: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lap < (1 << 24):
+            raise ValueError(f"LAP out of range: {self.lap:#x}")
+        if not 0 <= self.uap < (1 << 8):
+            raise ValueError(f"UAP out of range: {self.uap:#x}")
+        if not 0 <= self.nap < (1 << 16):
+            raise ValueError(f"NAP out of range: {self.nap:#x}")
+
+    @classmethod
+    def from_int(cls, value: int) -> "BdAddr":
+        """Build from a 48-bit integer (NAP|UAP|LAP)."""
+        return cls(
+            lap=value & 0xFFFFFF,
+            uap=(value >> 24) & 0xFF,
+            nap=(value >> 32) & 0xFFFF,
+        )
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "BdAddr":
+        """Draw a uniformly random (non-reserved) address."""
+        while True:
+            value = int(rng.integers(0, 1 << 48))
+            addr = cls.from_int(value)
+            if not DIAC_FIRST_LAP <= addr.lap <= DIAC_LAST_LAP:
+                return addr
+
+    def to_int(self) -> int:
+        """48-bit integer form (NAP|UAP|LAP)."""
+        return (self.nap << 32) | (self.uap << 24) | self.lap
+
+    @property
+    def hop_address(self) -> int:
+        """The 28-bit address input of the hop-selection kernel:
+        LAP plus the lower 4 UAP bits."""
+        return ((self.uap & 0xF) << 24) | self.lap
+
+    def __str__(self) -> str:
+        value = self.to_int()
+        octets = [(value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{o:02X}" for o in octets)

@@ -1,0 +1,80 @@
+"""Bit-array utilities.
+
+Bits are numpy ``uint8`` arrays of 0/1 values in *transmission order*.
+Bluetooth transmits the least-significant bit of each field first, so
+``bits_from_int(value, width)`` emits LSB-first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bits_from_int(value: int, width: int) -> np.ndarray:
+    """LSB-first bit array of ``value`` in ``width`` bits.
+
+    >>> bits_from_int(0b110, 4).tolist()
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = np.empty(width, dtype=np.uint8)
+    for i in range(width):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def int_from_bits(bits: np.ndarray) -> int:
+    """Inverse of :func:`bits_from_int` (LSB-first)."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Transmission-order bits of a byte string (LSB of first byte first)."""
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bytes_from_bits(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bits_from_bytes`; length must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit length {len(bits)} is not a multiple of 8")
+    return np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+
+
+def parse_bits(text: str) -> np.ndarray:
+    """Parse a string of 0/1 characters (spaces allowed) into a bit array."""
+    cleaned = text.replace(" ", "").replace("_", "")
+    return np.array([int(c) for c in cleaned], dtype=np.uint8)
+
+
+def format_bits(bits: np.ndarray, group: int = 8) -> str:
+    """Render bits as grouped 0/1 text for debugging."""
+    chars = "".join(str(int(b)) for b in bits)
+    if group <= 0:
+        return chars
+    return " ".join(chars[i : i + group] for i in range(0, len(chars), group))
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing positions (arrays must have equal length)."""
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    return int(np.count_nonzero(a != b))
+
+
+def flip_bits(bits: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Return a copy of ``bits`` with the given positions inverted."""
+    out = bits.copy()
+    out[positions] ^= 1
+    return out

@@ -1,0 +1,29 @@
+"""CRC-16 (CCITT) payload check, initialised with the UAP.
+
+Spec v1.2 Part B §7.1.2: generator ``x^16 + x^12 + x^5 + 1``; the register is
+preloaded with the UAP padded by eight zero bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseband.lfsr import remainder_bits
+
+#: Full generator polynomial including the x^16 term.
+CRC_POLY = 0x11021
+CRC_DEGREE = 16
+
+
+def crc16_compute(payload_bits: np.ndarray, uap: int) -> np.ndarray:
+    """16 CRC bits (MSB-first) of a payload bit stream."""
+    init = (uap & 0xFF) << 8
+    return remainder_bits(payload_bits, CRC_POLY, CRC_DEGREE, init=init)
+
+
+def crc16_check(payload_bits: np.ndarray, crc_bits: np.ndarray, uap: int) -> bool:
+    """Verify a received payload/CRC pair."""
+    if len(crc_bits) != CRC_DEGREE:
+        raise ValueError(f"CRC must be 16 bits, got {len(crc_bits)}")
+    expected = crc16_compute(payload_bits, uap)
+    return bool(np.array_equal(expected, crc_bits))

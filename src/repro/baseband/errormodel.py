@@ -1,0 +1,114 @@
+"""Statistical per-stage packet error model.
+
+For Monte Carlo sweeps we do not need to flip individual bits: the decode
+outcome of each stage is a Bernoulli draw whose probability follows in
+closed form from the coding scheme. This module provides both the exact
+probabilities (used in tests and for analytic overlays) and fast samplers.
+
+Cross-validated against the bit-accurate codec in
+``tests/baseband/test_errormodel.py``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+
+import numpy as np
+
+from repro.baseband.access_code import SYNC_LEN
+from repro.baseband.packets import Fec, PacketType, payload_body_bits
+
+
+def binomial_tail_le(n: int, k: int, p: float) -> float:
+    """P(X <= k) for X ~ Binomial(n, p)."""
+    if p <= 0.0:
+        return 1.0
+    q = 1.0 - p
+    return sum(comb(n, i) * (p ** i) * (q ** (n - i)) for i in range(0, k + 1))
+
+
+@lru_cache(maxsize=4096)
+def p_sync_detect(ber: float, threshold: int = 7) -> float:
+    """Probability the 64-bit sync word passes the sliding correlator."""
+    return binomial_tail_le(SYNC_LEN, threshold, ber)
+
+
+def p_bit_after_fec13(ber: float) -> float:
+    """Residual bit error probability after FEC 1/3 majority voting."""
+    return 3 * ber * ber * (1 - ber) + ber ** 3
+
+
+@lru_cache(maxsize=4096)
+def p_header_ok(ber: float) -> float:
+    """Probability the 18 header+HEC bits all survive FEC 1/3."""
+    return (1.0 - p_bit_after_fec13(ber)) ** 18
+
+
+def p_codeword_ok(ber: float) -> float:
+    """Probability one (15,10) codeword decodes (<= 1 bit error)."""
+    q = 1.0 - ber
+    return q ** 15 + 15 * ber * q ** 14
+
+
+@lru_cache(maxsize=8192)
+def p_payload_ok(ptype: PacketType, payload_len: int, ber: float) -> float:
+    """Probability the payload stage succeeds for a given packet."""
+    if ptype in (PacketType.ID, PacketType.NULL, PacketType.POLL):
+        return 1.0
+    body = payload_body_bits(ptype, payload_len)
+    if ptype.info.fec is Fec.RATE_23:
+        n_codewords = -(-body // 10)  # ceil
+        return p_codeword_ok(ber) ** n_codewords
+    return (1.0 - ber) ** body
+
+
+@lru_cache(maxsize=8192)
+def p_packet_ok(ptype: PacketType, payload_len: int, ber: float, threshold: int = 7) -> float:
+    """End-to-end probability a packet is received completely."""
+    p = p_sync_detect(ber, threshold)
+    if ptype is not PacketType.ID:
+        p *= p_header_ok(ber)
+        p *= p_payload_ok(ptype, payload_len, ber)
+    return p
+
+
+class StageErrorModel:
+    """Samples per-stage decode outcomes for a given channel BER.
+
+    One instance per channel; stateless apart from the RNG, so all devices
+    share it.
+    """
+
+    def __init__(self, ber: float, rng: np.random.Generator):
+        self.ber = float(ber)
+        self._rng = rng
+
+    # -- samplers ------------------------------------------------------------
+
+    def sample_sync(self, threshold: int = 7) -> bool:
+        """Does the sync word pass the correlator?"""
+        if self.ber == 0.0:
+            return True
+        errors = self._rng.binomial(SYNC_LEN, self.ber)
+        return bool(errors <= threshold)
+
+    def sample_header(self) -> bool:
+        """Do all 18 header bits survive FEC 1/3 + HEC?"""
+        if self.ber == 0.0:
+            return True
+        residual = p_bit_after_fec13(self.ber)
+        return bool(self._rng.binomial(18, residual) == 0)
+
+    def sample_payload(self, ptype: PacketType, payload_len: int) -> bool:
+        """Does the payload stage succeed (FEC + CRC)?"""
+        if self.ber == 0.0:
+            return True
+        if ptype in (PacketType.ID, PacketType.NULL, PacketType.POLL):
+            return True
+        body = payload_body_bits(ptype, payload_len)
+        if ptype.info.fec is Fec.RATE_23:
+            n_codewords = -(-body // 10)
+            p_fail = 1.0 - p_codeword_ok(self.ber)
+            return bool(self._rng.binomial(n_codewords, p_fail) == 0)
+        return bool(self._rng.binomial(body, self.ber) == 0)

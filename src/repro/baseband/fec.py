@@ -1,0 +1,146 @@
+"""Forward error correction: FEC 1/3 (bit repetition) and FEC 2/3
+(shortened Hamming (15,10)).
+
+* FEC 1/3 triples every bit; the decoder majority-votes each triplet.
+  Used for the packet header (and the DV voice field, not modelled).
+* FEC 2/3 encodes 10 data bits into a 15-bit codeword with generator
+  ``g(x) = x^5 + x^4 + x^2 + 1`` (octal 65); it corrects any single bit error
+  per codeword and flags heavier damage via the syndrome. Used for FHS and
+  DM packet payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseband.lfsr import shift_divide
+
+# ---------------------------------------------------------------------------
+# FEC 1/3
+# ---------------------------------------------------------------------------
+
+
+def fec13_encode(bits: np.ndarray) -> np.ndarray:
+    """Repeat every bit three times."""
+    return np.repeat(bits.astype(np.uint8), 3)
+
+
+@dataclass(frozen=True)
+class Fec13Result:
+    """Decoded FEC 1/3 block.
+
+    Attributes:
+        bits: majority-voted data bits.
+        corrected: number of triplets where a minority bit was outvoted.
+    """
+
+    bits: np.ndarray
+    corrected: int
+
+
+def fec13_decode(coded: np.ndarray) -> Fec13Result:
+    """Majority-vote decoder; ``len(coded)`` must be a multiple of 3."""
+    if len(coded) % 3 != 0:
+        raise ValueError(f"FEC 1/3 stream length {len(coded)} not divisible by 3")
+    triplets = coded.reshape(-1, 3)
+    sums = triplets.sum(axis=1)
+    bits = (sums >= 2).astype(np.uint8)
+    corrected = int(np.count_nonzero((sums == 1) | (sums == 2)))
+    return Fec13Result(bits=bits, corrected=corrected)
+
+
+# ---------------------------------------------------------------------------
+# FEC 2/3 — shortened Hamming (15,10)
+# ---------------------------------------------------------------------------
+
+#: Generator polynomial g(x) = x^5 + x^4 + x^2 + 1  (octal 65).
+FEC23_POLY = 0b110101
+FEC23_DEGREE = 5
+FEC23_DATA = 10
+FEC23_LEN = 15
+
+
+def _single_error_syndromes() -> dict[int, int]:
+    """Map syndrome -> error position for all 15 single-bit errors."""
+    table: dict[int, int] = {}
+    for position in range(FEC23_LEN):
+        error = np.zeros(FEC23_LEN, dtype=np.uint8)
+        error[position] = 1
+        syndrome = shift_divide(error, FEC23_POLY, FEC23_DEGREE)
+        if syndrome in table:  # pragma: no cover - guards the code choice
+            raise AssertionError("generator polynomial is not single-error capable")
+        table[syndrome] = position
+    return table
+
+
+_SYNDROME_TABLE = _single_error_syndromes()
+
+
+def fec23_encode_block(data10: np.ndarray) -> np.ndarray:
+    """Encode exactly 10 data bits into a systematic 15-bit codeword."""
+    if len(data10) != FEC23_DATA:
+        raise ValueError(f"FEC 2/3 block must be 10 bits, got {len(data10)}")
+    # shift_divide computes remainder(data * x^5), which is exactly the
+    # systematic parity: remainder((data||parity) * x^5) == 0 afterwards.
+    parity = shift_divide(data10, FEC23_POLY, FEC23_DEGREE)
+    codeword = np.empty(FEC23_LEN, dtype=np.uint8)
+    codeword[:FEC23_DATA] = data10
+    for i in range(FEC23_DEGREE):
+        codeword[FEC23_DATA + i] = (parity >> (FEC23_DEGREE - 1 - i)) & 1
+    return codeword
+
+
+@dataclass(frozen=True)
+class Fec23Result:
+    """Decoded FEC 2/3 stream.
+
+    Attributes:
+        bits: recovered data bits (padding still included).
+        corrected: number of codewords where one error was fixed.
+        failed: number of codewords whose syndrome was not correctable
+            (the payload must be discarded; CRC would fail anyway).
+    """
+
+    bits: np.ndarray
+    corrected: int
+    failed: int
+
+    @property
+    def ok(self) -> bool:
+        """True when every codeword decoded cleanly or was corrected."""
+        return self.failed == 0
+
+
+def fec23_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode a bit stream; zero-pads the tail block to 10 bits (spec §7.5)."""
+    remainder = len(bits) % FEC23_DATA
+    if remainder:
+        bits = np.concatenate(
+            [bits, np.zeros(FEC23_DATA - remainder, dtype=np.uint8)]
+        )
+    blocks = bits.reshape(-1, FEC23_DATA)
+    return np.concatenate([fec23_encode_block(block) for block in blocks]) if len(blocks) else np.zeros(0, np.uint8)
+
+
+def fec23_decode(coded: np.ndarray) -> Fec23Result:
+    """Decode a stream of 15-bit codewords, correcting single errors."""
+    if len(coded) % FEC23_LEN != 0:
+        raise ValueError(f"FEC 2/3 stream length {len(coded)} not divisible by 15")
+    corrected = 0
+    failed = 0
+    out_blocks = []
+    for block in coded.reshape(-1, FEC23_LEN):
+        syndrome = shift_divide(block, FEC23_POLY, FEC23_DEGREE)
+        block = block.copy()
+        if syndrome != 0:
+            position = _SYNDROME_TABLE.get(syndrome)
+            if position is None:
+                failed += 1
+            else:
+                block[position] ^= 1
+                corrected += 1
+        out_blocks.append(block[:FEC23_DATA])
+    bits = np.concatenate(out_blocks) if out_blocks else np.zeros(0, np.uint8)
+    return Fec23Result(bits=bits, corrected=corrected, failed=failed)

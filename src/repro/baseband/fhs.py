@@ -1,0 +1,99 @@
+"""The FHS (Frequency Hop Synchronisation) packet payload.
+
+The FHS payload is the handshake that creates a piconet: it carries the
+sender's BD_ADDR, its native clock (bits 27..2 sampled at transmission) and,
+during page, the AM_ADDR assigned to the new slave. 144 bits, laid out per
+spec v1.2 Part B §6.5.1.5 (plus a 16-bit CRC appended by the codec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseband.address import BdAddr
+from repro.baseband.bits import bits_from_int, int_from_bits
+
+FHS_PAYLOAD_BITS = 144
+
+
+@dataclass(frozen=True)
+class FhsPayload:
+    """Decoded FHS payload fields.
+
+    Attributes:
+        addr: the sender's BD_ADDR.
+        clk27_2: sender's native clock bits 27..2 at (re)transmission.
+        am_addr: active member address assigned to the recipient (page);
+            0 during inquiry response.
+        class_of_device: 24-bit CoD field.
+        parity: 34 low bits of the sender's sync word (informative).
+        sr: scan-repetition field (2 bits).
+        sp: scan-period field (2 bits).
+        page_scan_mode: 3-bit page-scan-mode field.
+    """
+
+    addr: BdAddr
+    clk27_2: int
+    am_addr: int = 0
+    class_of_device: int = 0
+    parity: int = 0
+    sr: int = 0
+    sp: int = 0
+    page_scan_mode: int = 0
+
+    def pack(self) -> np.ndarray:
+        """Serialise to the 144 payload bits (transmission order)."""
+        return np.concatenate([
+            bits_from_int(self.parity & ((1 << 34) - 1), 34),
+            bits_from_int(self.addr.lap, 24),
+            bits_from_int(0, 2),                      # undefined
+            bits_from_int(self.sr & 0b11, 2),
+            bits_from_int(self.sp & 0b11, 2),
+            bits_from_int(self.addr.uap, 8),
+            bits_from_int(self.addr.nap, 16),
+            bits_from_int(self.class_of_device, 24),
+            bits_from_int(self.am_addr & 0b111, 3),
+            bits_from_int(self.clk27_2 & ((1 << 26) - 1), 26),
+            bits_from_int(self.page_scan_mode & 0b111, 3),
+        ])
+
+    @classmethod
+    def unpack(cls, bits: np.ndarray) -> "FhsPayload":
+        """Parse 144 payload bits back into fields."""
+        if len(bits) != FHS_PAYLOAD_BITS:
+            raise ValueError(f"FHS payload must be {FHS_PAYLOAD_BITS} bits, got {len(bits)}")
+        cursor = 0
+
+        def take(width: int) -> int:
+            nonlocal cursor
+            value = int_from_bits(bits[cursor : cursor + width])
+            cursor += width
+            return value
+
+        parity = take(34)
+        lap = take(24)
+        take(2)  # undefined
+        sr = take(2)
+        sp = take(2)
+        uap = take(8)
+        nap = take(16)
+        cod = take(24)
+        am_addr = take(3)
+        clk27_2 = take(26)
+        page_scan_mode = take(3)
+        return cls(
+            addr=BdAddr(lap=lap, uap=uap, nap=nap),
+            clk27_2=clk27_2,
+            am_addr=am_addr,
+            class_of_device=cod,
+            parity=parity,
+            sr=sr,
+            sp=sp,
+            page_scan_mode=page_scan_mode,
+        )
+
+    def clock_ticks(self) -> int:
+        """The sender clock value implied by clk27_2 (bits 1..0 zeroed)."""
+        return self.clk27_2 << 2

@@ -1,0 +1,90 @@
+"""Linear feedback shift registers and polynomial division over GF(2).
+
+One generic division routine backs the HEC, CRC-16 and BCH sync-word
+generators; :class:`Lfsr` provides a stepping register for stream uses
+(whitening).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def shift_divide(bits: Iterable[int], poly: int, degree: int, init: int = 0) -> int:
+    """Divide the bit stream by ``poly`` (degree ``degree``), return remainder.
+
+    ``poly`` is the full generator polynomial *including* the x^degree term
+    (e.g. CRC-CCITT: ``0x11021`` with ``degree=16``). ``init`` preloads the
+    remainder register (used by HEC/CRC which initialise with the UAP).
+
+    Bits are consumed most-significant-coefficient first.
+    """
+    mask = (1 << degree) - 1
+    low_poly = poly & mask
+    reg = init & mask
+    top = degree - 1
+    for bit in bits:
+        feedback = ((reg >> top) & 1) ^ (int(bit) & 1)
+        reg = (reg << 1) & mask
+        if feedback:
+            reg ^= low_poly
+    return reg
+
+
+def remainder_bits(bits: np.ndarray, poly: int, degree: int, init: int = 0) -> np.ndarray:
+    """Like :func:`shift_divide` but returning the remainder as an MSB-first
+    bit array of length ``degree``."""
+    reg = shift_divide(bits, poly, degree, init)
+    out = np.empty(degree, dtype=np.uint8)
+    for i in range(degree):
+        out[i] = (reg >> (degree - 1 - i)) & 1
+    return out
+
+
+class Lfsr:
+    """A Fibonacci LFSR producing one output bit per :meth:`step`.
+
+    Attributes:
+        poly: feedback polynomial including the x^degree term.
+        degree: register width.
+        state: current register contents (integer, ``degree`` bits).
+    """
+
+    def __init__(self, poly: int, degree: int, state: int):
+        self.poly = poly
+        self.degree = degree
+        mask = (1 << degree) - 1
+        self.state = state & mask
+        self._mask = mask
+        # tap positions: exponents of the feedback polynomial below degree
+        self._taps = [i for i in range(degree) if (poly >> i) & 1]
+
+    def step(self) -> int:
+        """Advance one bit; returns the output (the bit shifted out)."""
+        out = (self.state >> (self.degree - 1)) & 1
+        feedback = 0
+        for tap in self._taps:
+            if tap == 0:
+                feedback ^= out
+            else:
+                feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & self._mask
+        return out
+
+    def sequence(self, length: int) -> np.ndarray:
+        """Produce ``length`` output bits."""
+        out = np.empty(length, dtype=np.uint8)
+        for i in range(length):
+            out[i] = self.step()
+        return out
+
+    def period(self, limit: int = 1 << 20) -> int:
+        """Measure the state cycle length (for tests)."""
+        start = self.state
+        for count in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise RuntimeError("period exceeds limit")

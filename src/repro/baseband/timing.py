@@ -1,0 +1,34 @@
+"""Slot-grid timing helpers shared by the link-controller procedures."""
+
+from __future__ import annotations
+
+from repro import units
+from repro.baseband.packets import PacketType, packet_duration_ns
+
+#: Durations of the fixed-size packets (1 µs per bit).
+ID_DURATION_NS = packet_duration_ns(PacketType.ID)          # 68 us
+POLL_DURATION_NS = packet_duration_ns(PacketType.POLL)      # 126 us
+NULL_DURATION_NS = packet_duration_ns(PacketType.NULL)      # 126 us
+FHS_DURATION_NS = packet_duration_ns(PacketType.FHS)        # 366 us
+
+#: Time from the start of a packet to the end of its sync word
+#: (preamble 4 + sync 64 bits) — the correlator's decision point.
+SYNC_DECISION_NS = 68 * units.BIT_NS
+
+#: Additional time to the end of the (FEC 1/3) header: trailer 4 + 54 bits.
+HEADER_DECISION_NS = SYNC_DECISION_NS + (4 + 54) * units.BIT_NS
+
+
+def is_master_tx_slot(clk: int) -> bool:
+    """Master transmits in slots where CLK1 = 0 (even slots)."""
+    return ((clk >> 1) & 1) == 0
+
+
+def is_slave_tx_slot(clk: int) -> bool:
+    """Slaves respond in slots where CLK1 = 1 (odd slots)."""
+    return ((clk >> 1) & 1) == 1
+
+
+def slot_start(clk: int) -> bool:
+    """True on ticks that begin a slot (CLK0 = 0)."""
+    return (clk & 1) == 0

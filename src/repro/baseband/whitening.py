@@ -1,0 +1,34 @@
+"""Data whitening (scrambling) with ``g(D) = D^7 + D^4 + 1``.
+
+Spec v1.2 Part B §7.2: header and payload are XORed with the output of a
+7-bit LFSR initialised with CLK bits 6..1 and a constant 1 in the most
+significant position. Whitening twice with the same clock is the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WHITEN_POLY = 0b10010001  # x^7 + x^4 + 1 (bit i = coefficient of x^i)
+WHITEN_DEGREE = 7
+
+
+def whitening_sequence(clk: int, length: int) -> np.ndarray:
+    """Generate ``length`` whitening bits for a given Bluetooth clock value.
+
+    Only CLK bits 6..1 participate in the seed.
+    """
+    state = 0b1000000 | ((clk >> 1) & 0x3F)
+    out = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        msb = (state >> 6) & 1
+        out[i] = msb
+        feedback = msb ^ ((state >> 3) & 1)
+        state = ((state << 1) & 0x7F) | feedback
+    return out
+
+
+def whiten(bits: np.ndarray, clk: int) -> np.ndarray:
+    """XOR a bit stream with the whitening sequence (self-inverse)."""
+    sequence = whitening_sequence(clk, len(bits))
+    return (bits.astype(np.uint8) ^ sequence).astype(np.uint8)

@@ -1,0 +1,174 @@
+"""Configuration dataclasses shared across the simulator and experiments.
+
+The defaults encode the Bluetooth 1.2 values used by the paper (timeouts of
+1.28 s for inquiry and page, 32-frequency inquiry/page sequences split into
+two 16-frequency trains, RAND(0..1023) inquiry-scan backoff) plus the
+calibration constants documented in DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import units
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Channel noise parameters.
+
+    Attributes:
+        ber: bit error rate of the channel, 0.0 <= ber < 0.5. Bits on the air
+            are inverted independently with this probability (paper section 2:
+            "inversion of the bit in the channel controlled by a random number
+            generator").
+        burst_avg_len: if > 1, use a Gilbert-Elliott burst model whose *average*
+            BER stays ``ber`` but whose errors cluster in bursts with this mean
+            length (extension; the paper's model is iid).
+    """
+
+    ber: float = 0.0
+    burst_avg_len: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ber < 0.5:
+            raise ConfigError(f"BER must lie in [0, 0.5), got {self.ber}")
+        if self.burst_avg_len < 1.0:
+            raise ConfigError("burst_avg_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class RfConfig:
+    """RF front-end timing model.
+
+    Attributes:
+        modem_delay_ns: modulator + demodulator latency added to every
+            over-the-air stage (paper: "the delay of the modulator and
+            demodulator RF blocks"; too high a value breaks synchronisation).
+        turnaround_ns: minimum TX<->RX switch time for a radio.
+        carrier_sense: whether a listener that detects energy on its tuned
+            frequency keeps its receive window open until the sync-word
+            decision (models the correlator's behaviour).
+    """
+
+    modem_delay_ns: int = 2 * units.US
+    turnaround_ns: int = 0
+    carrier_sense: bool = True
+
+    def __post_init__(self) -> None:
+        if self.modem_delay_ns < 0 or self.turnaround_ns < 0:
+            raise ConfigError("RF delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Link-controller parameters (Bluetooth 1.2 defaults).
+
+    Attributes:
+        inquiry_timeout_slots: application-layer inquiry timeout. The paper
+            fixes it at 1.28 s = 2048 slots.
+        page_timeout_slots: application-layer page timeout (same 1.28 s).
+        page_resp_timeout_slots: pagerespTO — slots a paged slave waits for
+            the master's FHS after answering an ID before falling back.
+        inq_resp_backoff_slots: upper bound (exclusive) of the uniform random
+            backoff RAND(0..N-1) a scanner sleeps between its first and second
+            ID receptions in inquiry scan. Spec: 1024.
+        new_connection_timeout_slots: newconnectionTO — slots the master waits
+            for the slave's first response in connection state before
+            declaring the page attempt failed.
+        train_size: frequencies per page/inquiry train (spec: 16).
+        train_repetitions: Ninquiry/Npage — train repetitions before swapping
+            A<->B trains. The spec floor is 256; the default here is 128
+            (train swap after 1.28 s), which reproduces the paper's measured
+            1556-slot mean inquiry duration: with both devices' clocks
+            advancing in lockstep, the scanner's phase offset relative to
+            the train is constant, and an out-of-train scanner is only
+            reached after a swap. E[T] = 1/2*530 + 1/2*(2048+530) ~ 1554
+            slots. See DESIGN.md "Calibration notes" and the
+            ablation_trains bench.
+        t_poll_slots: master polling interval per active slave (even slots).
+        sync_threshold: maximum sync-word bit mismatches the correlator
+            accepts (of 64) for packets carrying a header/payload.
+            7 mismatches ~= the 57-bit correlation threshold commonly used
+            in implementations. The paper profile (fig07/fig08) sets this
+            to 0: the paper's behavioural receiver bit-compares framed
+            packets' access codes, which is what collapses its page phase
+            at high BER.
+        id_sync_threshold: correlator threshold for bare ID packets. ID
+            detection is a pure sliding-correlator decision in any receiver
+            (there is nothing else to check), and the paper itself observes
+            that ID packets are the least noise-sensitive — so this stays
+            at the spec's 7 in both profiles.
+        active_listen_ns: RX window an *active* (connected, synchronised)
+            slave opens at every master-slot start; 32.5 us reproduces the
+            paper's 2.6 % active-mode RF activity baseline.
+        sniff_attempt_slots: N_sniff_attempt — master slots a sniffing slave
+            listens at each anchor point.
+        hold_resync_poll_slots: T_poll used by the master while a slave
+            re-synchronises after hold (fig12 config uses 6).
+    """
+
+    inquiry_timeout_slots: int = 2048
+    page_timeout_slots: int = 2048
+    page_resp_timeout_slots: int = 8
+    inq_resp_backoff_slots: int = 1024
+    new_connection_timeout_slots: int = 32
+    train_size: int = 16
+    train_repetitions: int = 128
+    t_poll_slots: int = 6
+    sync_threshold: int = 7
+    id_sync_threshold: int = 7
+    active_listen_ns: int = round(32.5 * units.US)
+    sniff_attempt_slots: int = 2
+    hold_resync_poll_slots: int = 6
+
+    def __post_init__(self) -> None:
+        if self.train_size <= 0 or self.train_size > 32:
+            raise ConfigError("train_size must be in 1..32")
+        if self.sync_threshold < 0 or self.sync_threshold > 64:
+            raise ConfigError("sync_threshold must be in 0..64")
+        if self.id_sync_threshold < 0 or self.id_sync_threshold > 64:
+            raise ConfigError("id_sync_threshold must be in 0..64")
+        for name in (
+            "inquiry_timeout_slots",
+            "page_timeout_slots",
+            "page_resp_timeout_slots",
+            "inq_resp_backoff_slots",
+            "new_connection_timeout_slots",
+            "train_repetitions",
+            "t_poll_slots",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration bundle for a Bluetooth simulation.
+
+    Attributes:
+        seed: master seed; all randomness derives from it deterministically.
+        noise: channel noise parameters.
+        rf: RF front-end timing model.
+        link: link-controller parameters.
+        bit_accurate: if True the channel encodes/decodes full air frames and
+            flips individual bits; if False it uses the statistical per-stage
+            error model (DESIGN.md, "Fidelity levels").
+        trace: if True, record enable_tx_RF / enable_rx_RF / state waveforms.
+    """
+
+    seed: int = 0
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    rf: RfConfig = field(default_factory=RfConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    bit_accurate: bool = False
+    trace: bool = False
+
+    def with_ber(self, ber: float) -> "SimulationConfig":
+        """Return a copy of this config with a different channel BER."""
+        return replace(self, noise=replace(self.noise, ber=ber))
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Return a copy of this config with a different master seed."""
+        return replace(self, seed=seed)

@@ -1,0 +1,11 @@
+"""Experiment layer: one module per paper figure, plus extensions.
+
+Every module exposes ``run(trials=..., seed=...) -> ExperimentResult`` and
+is registered in :mod:`repro.experiments.registry`; the benchmarks call
+these and print the same rows the paper plots.
+"""
+
+from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "paper_config", "run_experiment"]

@@ -1,0 +1,55 @@
+"""Ablation — the sync-word correlator threshold.
+
+The library's default receiver accepts up to 7 mismatched bits of the
+64-bit sync word (the spec's "57 of 64" correlator); the paper's
+behavioural receiver compares access codes bit-exactly (threshold 0). This
+ablation sweeps the threshold at a fixed noisy operating point and shows
+the regime change: with a tolerant correlator the page phase survives
+BER 1/30; with exact matching it collapses — which is precisely the
+difference between our default profile and the paper profile used by the
+fig07/fig08 reproductions.
+"""
+
+from __future__ import annotations
+
+from repro.api import Session
+from repro.experiments.common import ExperimentResult, paper_config
+from repro.stats.montecarlo import TrialOutcome, default_trials
+from repro.stats.sweep import Sweep
+
+THRESHOLDS = [0, 1, 2, 4, 7, 10]
+BER = 1 / 30
+
+
+def run_trial(threshold: float, seed: int) -> TrialOutcome:
+    """One page attempt at BER 1/30 with a given correlator threshold."""
+    session = Session(config=paper_config(ber=BER, seed=seed,
+                                          sync_threshold=int(threshold)))
+    master = session.add_device("master")
+    slave = session.add_device("slave")
+    result = session.run_page(master, slave)
+    return TrialOutcome(seed=seed, success=result.success,
+                        value=result.duration_slots)
+
+
+def run(trials: int = 10, seed: int = 31) -> ExperimentResult:
+    """Sweep the correlator threshold at BER 1/40."""
+    trials = default_trials(trials)
+    sweep = Sweep(master_seed=seed, trials_per_point=trials)
+    points = sweep.run([(t, str(t)) for t in THRESHOLDS], run_trial)
+    result = ExperimentResult(
+        experiment_id="ablation_correlator",
+        title=f"Ablation — page at BER 1/40 vs correlator threshold",
+        headers=["threshold (of 64)", "success", "mean TS"],
+        paper_expectation=("exact matching (0) reproduces the paper's page "
+                           "collapse; the spec correlator (7) shrugs off "
+                           "this BER"),
+        notes=f"{trials} trials/point",
+    )
+    for point in points:
+        result.rows.append([
+            point.label,
+            f"{point.success.successes}/{point.success.n}",
+            round(point.mean.mean, 1) if point.success.successes else float("nan"),
+        ])
+    return result

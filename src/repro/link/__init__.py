@@ -1,0 +1,13 @@
+"""Link controller: the paper's Baseband STATE MACHINE module family.
+
+Implements the main state diagram of the paper's Fig. 4 — standby, inquiry,
+inquiry scan/response, page, page scan, master/slave response, connection —
+plus the low-power connection modes (sniff, hold, park), ARQ, buffers,
+polling and traffic generation.
+"""
+
+from repro.link.device import BluetoothDevice
+from repro.link.piconet import Piconet
+from repro.link.states import ConnectionMode, DeviceState
+
+__all__ = ["BluetoothDevice", "ConnectionMode", "DeviceState", "Piconet"]

@@ -1,0 +1,36 @@
+"""Hold-mode helpers (paper section 3.2, Fig. 12).
+
+In hold mode the slave's ACL traffic is suspended for a negotiated number
+of slots; its radio can be fully off (or visit another piconet — not
+modelled). When the hold expires the slave has lost fine synchronisation
+and must listen continuously until it catches a master transmission; the
+master knows the expiry time and polls the returning slave eagerly
+(every ``hold_resync_poll_slots``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.link.piconet import HoldParams
+
+
+@dataclass
+class HoldSchedule:
+    """Resolved hold window in piconet master-slot indices."""
+
+    start_slot: int
+    end_slot: int
+
+    def active(self, slot_index: int) -> bool:
+        """Is the link suspended at this master slot?"""
+        return self.start_slot <= slot_index < self.end_slot
+
+
+def schedule_hold(current_slot: int, params: HoldParams) -> HoldSchedule:
+    """Build the hold window beginning at the next master slot."""
+    if params.hold_slots <= 0:
+        raise ValueError("hold time must be positive")
+    start = max(current_slot + 1, params.start_slot)
+    return HoldSchedule(start_slot=start,
+                        end_slot=start + max(1, params.hold_slots // 2))

@@ -1,0 +1,33 @@
+"""Park-mode helpers (paper section 3.2).
+
+A parked slave gives up its AM_ADDR but stays slaved to the piconet clock:
+it wakes only at *beacon* instants (every ``beacon_interval_slots`` master
+slots) to re-synchronise, listening for the broadcast beacon the master
+transmits there. Parking frees AM_ADDRs so more than 7 devices can be
+members of the piconet.
+"""
+
+from __future__ import annotations
+
+from repro.link.piconet import ParkParams
+
+
+def is_beacon_slot(slot_index: int, params: ParkParams) -> bool:
+    """Is piconet master-slot ``slot_index`` a beacon instant?"""
+    return slot_index % params.beacon_interval_slots == 0
+
+
+def next_beacon_slot(slot_index: int, params: ParkParams) -> int:
+    """First beacon slot index >= ``slot_index``."""
+    remainder = slot_index % params.beacon_interval_slots
+    if remainder == 0:
+        return slot_index
+    return slot_index + params.beacon_interval_slots - remainder
+
+
+def validate(params: ParkParams) -> None:
+    """Sanity-check park parameters."""
+    if params.beacon_interval_slots < 2:
+        raise ValueError("beacon interval must be at least 2 slots")
+    if not 1 <= params.pm_addr <= 255:
+        raise ValueError("PM_ADDR must fit in one byte")

@@ -1,0 +1,58 @@
+"""Device states (paper Fig. 4) and connection modes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DeviceState(enum.Enum):
+    """Main link-controller states of a Bluetooth device."""
+
+    STANDBY = "standby"
+    INQUIRY = "inquiry"
+    INQUIRY_SCAN = "inquiry_scan"
+    INQUIRY_RESPONSE = "inquiry_response"
+    PAGE = "page"
+    PAGE_SCAN = "page_scan"
+    MASTER_RESPONSE = "master_response"
+    SLAVE_RESPONSE = "slave_response"
+    CONNECTION = "connection"
+
+
+class ConnectionMode(enum.Enum):
+    """Modes a connected slave can operate in (paper section 3.2)."""
+
+    ACTIVE = "active"
+    SNIFF = "sniff"
+    HOLD = "hold"
+    PARK = "park"
+
+
+#: Transitions of the main state diagram (paper Fig. 4); used by tests and
+#: by the link controller to validate requested moves.
+ALLOWED_TRANSITIONS: dict[DeviceState, frozenset[DeviceState]] = {
+    DeviceState.STANDBY: frozenset({
+        DeviceState.INQUIRY, DeviceState.INQUIRY_SCAN,
+        DeviceState.PAGE, DeviceState.PAGE_SCAN,
+    }),
+    DeviceState.INQUIRY: frozenset({DeviceState.STANDBY}),
+    DeviceState.INQUIRY_SCAN: frozenset({
+        DeviceState.INQUIRY_RESPONSE, DeviceState.STANDBY,
+    }),
+    DeviceState.INQUIRY_RESPONSE: frozenset({
+        DeviceState.INQUIRY_SCAN, DeviceState.STANDBY,
+    }),
+    DeviceState.PAGE: frozenset({
+        DeviceState.MASTER_RESPONSE, DeviceState.STANDBY,
+    }),
+    DeviceState.PAGE_SCAN: frozenset({
+        DeviceState.SLAVE_RESPONSE, DeviceState.STANDBY,
+    }),
+    DeviceState.MASTER_RESPONSE: frozenset({
+        DeviceState.CONNECTION, DeviceState.PAGE, DeviceState.STANDBY,
+    }),
+    DeviceState.SLAVE_RESPONSE: frozenset({
+        DeviceState.CONNECTION, DeviceState.PAGE_SCAN, DeviceState.STANDBY,
+    }),
+    DeviceState.CONNECTION: frozenset({DeviceState.STANDBY}),
+}

@@ -1,0 +1,127 @@
+"""Application-layer traffic generators.
+
+These model the paper's "different algorithms at application layer": a
+periodic source (Fig. 11's master sending data to the slave every 100
+slots), a duty-cycle source (Fig. 10's x-axis) and a Poisson source
+(extension), all feeding a device's TX buffer toward a destination.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro import units
+from repro.baseband.packets import PacketType
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.link.device import BluetoothDevice
+
+
+class TrafficSource:
+    """Base class: pushes payloads into ``device``'s buffer for ``am_addr``."""
+
+    def __init__(self, device: "BluetoothDevice", am_addr: int,
+                 ptype: PacketType = PacketType.DM1,
+                 payload_len: Optional[int] = None):
+        self.device = device
+        self.am_addr = am_addr
+        self.ptype = ptype
+        if payload_len is None:
+            payload_len = ptype.info.max_payload
+        if payload_len > ptype.info.max_payload:
+            raise ConfigError(
+                f"payload {payload_len}B exceeds {ptype.value} maximum"
+            )
+        self.payload_len = payload_len
+        self.generated = 0
+
+    def _emit(self) -> None:
+        payload = bytes(self.payload_len)
+        self.device.enqueue_data(self.am_addr, payload, self.ptype)
+        self.generated += 1
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+
+class PeriodicTraffic(TrafficSource):
+    """One payload every ``period_slots`` slots (paper Fig. 11: 100 TS)."""
+
+    def __init__(self, device: "BluetoothDevice", am_addr: int,
+                 period_slots: int, **kwargs):
+        super().__init__(device, am_addr, **kwargs)
+        if period_slots <= 0:
+            raise ConfigError("period_slots must be positive")
+        self.period_slots = period_slots
+
+    def start(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        self._emit()
+        self.device.sim.schedule(self.period_slots * units.SLOT_NS, self._tick)
+
+
+class DutyCycleTraffic(TrafficSource):
+    """Uses a fraction ``duty`` of the master's TX slots for data.
+
+    The paper's Fig. 10 x-axis is "the number of time slots used for
+    transmission with respect to the maximum time slots available [for
+    transmission]" — for a master, one slot per pair. With one single-slot
+    packet per payload, emitting a payload every ``1/duty`` slot pairs
+    realises that definition.
+    """
+
+    def __init__(self, device: "BluetoothDevice", am_addr: int,
+                 duty: float, **kwargs):
+        super().__init__(device, am_addr, **kwargs)
+        if not 0.0 < duty <= 1.0:
+            raise ConfigError("duty must lie in (0, 1]")
+        self.duty = duty
+        self._period_ns = round(units.SLOT_PAIR_NS / duty)
+
+    def start(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        self._emit()
+        self.device.sim.schedule(self._period_ns, self._tick)
+
+
+class PoissonTraffic(TrafficSource):
+    """Memoryless arrivals at ``rate_per_slot`` payloads per slot."""
+
+    def __init__(self, device: "BluetoothDevice", am_addr: int,
+                 rate_per_slot: float, rng: np.random.Generator, **kwargs):
+        super().__init__(device, am_addr, **kwargs)
+        if rate_per_slot <= 0:
+            raise ConfigError("rate_per_slot must be positive")
+        self.rate_per_slot = rate_per_slot
+        self._rng = rng
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap_slots = self._rng.exponential(1.0 / self.rate_per_slot)
+        delay_ns = max(1, round(gap_slots * units.SLOT_NS))
+        self.device.sim.schedule(delay_ns, self._arrive)
+
+    def _arrive(self) -> None:
+        self._emit()
+        self._schedule_next()
+
+
+class SaturatedTraffic(TrafficSource):
+    """Always keeps the TX buffer non-empty (throughput experiments)."""
+
+    def start(self) -> None:
+        self._refill()
+
+    def _refill(self) -> None:
+        while len(self.device.tx_buffer_for(self.am_addr)) < 4:
+            self._emit()
+        self.device.sim.schedule(units.SLOT_NS, self._refill)

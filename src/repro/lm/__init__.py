@@ -1,0 +1,9 @@
+"""Link Manager layer: LMP PDUs over the ACL link, plus an HCI-style host
+facade. Mode changes (sniff/hold/park) are negotiated here and applied by
+the link controller at an agreed future instant."""
+
+from repro.lm.hci import HostController
+from repro.lm.lmp import LinkManager
+from repro.lm.pdu import LmpOpcode, LmpPdu
+
+__all__ = ["HostController", "LinkManager", "LmpOpcode", "LmpPdu"]

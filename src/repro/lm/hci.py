@@ -1,0 +1,97 @@
+"""A minimal HCI-flavoured host facade over one device.
+
+Not a full HCI transport — just the familiar command verbs (inquiry,
+create_connection, sniff_mode, hold_mode, park_mode, detach) mapped onto
+the link controller and link manager, so examples read like host code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.baseband.address import BdAddr
+from repro.errors import ProtocolError
+from repro.link.inquiry import DiscoveredDevice, InquiryResult
+from repro.link.page import PageResult, PageTarget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.link.device import BluetoothDevice
+
+
+class HostController:
+    """HCI-style wrapper around a :class:`BluetoothDevice`."""
+
+    def __init__(self, device: "BluetoothDevice"):
+        self.device = device
+        self.inquiry_results: list[DiscoveredDevice] = []
+        self.last_inquiry: Optional[InquiryResult] = None
+        self.last_page: Optional[PageResult] = None
+        self.connections: dict[int, BdAddr] = {}
+
+    # -- discovery ---------------------------------------------------------
+
+    def inquiry(self, timeout_slots: Optional[int] = None,
+                num_responses: int = 1) -> None:
+        """HCI_Inquiry: start discovering; results land in
+        :attr:`inquiry_results` when the procedure completes."""
+
+        def _done(result: InquiryResult) -> None:
+            self.last_inquiry = result
+            self.inquiry_results.extend(result.discovered)
+
+        self.device.start_inquiry(timeout_slots=timeout_slots,
+                                  num_responses=num_responses,
+                                  on_complete=_done)
+
+    def write_scan_enable(self, inquiry_scan: bool = True) -> None:
+        """HCI_Write_Scan_Enable: become discoverable / connectable."""
+        if inquiry_scan:
+            self.device.start_inquiry_scan()
+        else:
+            self.device.start_page_scan()
+
+    # -- connections ---------------------------------------------------------
+
+    def create_connection(self, addr: BdAddr,
+                          timeout_slots: Optional[int] = None) -> None:
+        """HCI_Create_Connection: page a previously discovered device."""
+        target = self._target_for(addr)
+
+        def _done(result: PageResult) -> None:
+            self.last_page = result
+            if result.success:
+                self.connections[result.am_addr] = addr
+
+        self.device.start_page(target, timeout_slots=timeout_slots,
+                               on_complete=_done)
+
+    def _target_for(self, addr: BdAddr) -> PageTarget:
+        for found in self.inquiry_results:
+            if found.addr == addr:
+                return PageTarget(addr=addr, clock_estimate=found.clock_estimate)
+        raise ProtocolError(f"{addr} was not discovered by inquiry")
+
+    def disconnect(self, am_addr: int) -> None:
+        """HCI_Disconnect: LMP detach."""
+        self.device.lm.request_detach(am_addr)
+        self.connections.pop(am_addr, None)
+
+    # -- modes ---------------------------------------------------------------
+
+    def sniff_mode(self, am_addr: int, t_sniff_slots: int,
+                   n_attempt_slots: int = 2) -> None:
+        """HCI_Sniff_Mode."""
+        self.device.lm.request_sniff(am_addr, t_sniff_slots, n_attempt_slots)
+
+    def exit_sniff_mode(self, am_addr: int) -> None:
+        """HCI_Exit_Sniff_Mode."""
+        self.device.lm.request_unsniff(am_addr)
+
+    def hold_mode(self, am_addr: int, hold_slots: int) -> None:
+        """HCI_Hold_Mode."""
+        self.device.lm.request_hold(am_addr, hold_slots)
+
+    def park_mode(self, am_addr: int, beacon_interval_slots: int = 128,
+                  pm_addr: int = 1) -> None:
+        """HCI_Park_Mode."""
+        self.device.lm.request_park(am_addr, beacon_interval_slots, pm_addr)

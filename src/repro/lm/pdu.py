@@ -1,0 +1,77 @@
+"""LMP protocol data units.
+
+Wire format (carried as the payload of DM1 packets with LLID = 3):
+one opcode byte followed by fixed-size little-endian parameters. Opcode
+numbers follow the spec where one exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DecodingError
+
+
+class LmpOpcode(enum.Enum):
+    """Subset of LMP opcodes the model implements."""
+
+    ACCEPTED = 3
+    NOT_ACCEPTED = 4
+    DETACH = 7
+    HOLD_REQ = 20
+    SNIFF_REQ = 23
+    UNSNIFF_REQ = 24
+    PARK_REQ = 25
+    UNPARK_REQ = 26
+    SETUP_COMPLETE = 49
+
+
+#: parameter layout per opcode: list of (name, bytes)
+_LAYOUT: dict[LmpOpcode, list[tuple[str, int]]] = {
+    LmpOpcode.ACCEPTED: [("opcode_acked", 1)],
+    LmpOpcode.NOT_ACCEPTED: [("opcode_acked", 1), ("reason", 1)],
+    LmpOpcode.DETACH: [("reason", 1)],
+    LmpOpcode.HOLD_REQ: [("hold_slots", 2), ("start_pair", 4)],
+    LmpOpcode.SNIFF_REQ: [("t_sniff_slots", 2), ("n_attempt_slots", 1),
+                          ("d_sniff_slots", 2), ("start_pair", 4)],
+    LmpOpcode.UNSNIFF_REQ: [("start_pair", 4)],
+    LmpOpcode.PARK_REQ: [("beacon_interval_slots", 2), ("pm_addr", 1),
+                         ("start_pair", 4)],
+    LmpOpcode.UNPARK_REQ: [("pm_addr", 1), ("am_addr", 1), ("start_pair", 4)],
+    LmpOpcode.SETUP_COMPLETE: [],
+}
+
+
+@dataclass
+class LmpPdu:
+    """A decoded LMP PDU: opcode plus named integer parameters."""
+
+    opcode: LmpOpcode
+    params: dict[str, int] = field(default_factory=dict)
+
+    def pack(self) -> bytes:
+        """Serialise to wire bytes."""
+        out = bytearray([self.opcode.value])
+        for name, size in _LAYOUT[self.opcode]:
+            value = int(self.params.get(name, 0))
+            out += value.to_bytes(size, "little")
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "LmpPdu":
+        """Parse wire bytes; raises DecodingError on malformed input."""
+        if not data:
+            raise DecodingError("empty LMP PDU")
+        try:
+            opcode = LmpOpcode(data[0])
+        except ValueError:
+            raise DecodingError(f"unknown LMP opcode {data[0]}") from None
+        params: dict[str, int] = {}
+        cursor = 1
+        for name, size in _LAYOUT[opcode]:
+            if cursor + size > len(data):
+                raise DecodingError(f"truncated {opcode.name} PDU")
+            params[name] = int.from_bytes(data[cursor : cursor + size], "little")
+            cursor += size
+        return cls(opcode=opcode, params=params)

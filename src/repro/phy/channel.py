@@ -1,0 +1,275 @@
+"""The shared radio channel (the paper's Fig. 2 module).
+
+Responsibilities:
+
+* **Noise** — bit inversions at the configured BER, either by flipping real
+  encoded bits (bit-accurate mode) or by sampling the per-stage decode
+  outcome from the closed-form model (statistical mode).
+* **Collision resolution** — two transmissions overlapping on the same RF
+  channel corrupt each other; every affected reception decodes as garbage
+  (the resolver's 'X'). Unlike the paper's frequency-less resolver we track
+  collisions per RF channel, which is strictly more accurate and is needed
+  for the multi-piconet extension.
+* **Modem delay** — receivers perceive all stage times shifted by the
+  configured modulator+demodulator latency.
+* **Staged delivery** — carrier-on at TX start, sync-word decision 68 µs in,
+  header decision (AM_ADDR visible) 58 µs later, full decode at packet end.
+  This produces the exact enable_rx_RF waveforms of the paper's Figs. 5/9,
+  including a slave dropping out of a packet addressed to another slave.
+
+The decode outcome for a (transmission, listener) pair is drawn **once**, at
+the sync stage, and revealed progressively — so the staged view is always
+self-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseband.codec import DecodeResult, decode_packet, encode_packet
+from repro.baseband.errormodel import StageErrorModel
+from repro.baseband.bits import flip_bits
+from repro.baseband.packets import Packet, PacketType
+from repro.baseband.timing import HEADER_DECISION_NS, SYNC_DECISION_NS
+from repro.config import SimulationConfig
+from repro.errors import ChannelError
+from repro.phy.noise import BerNoise, GilbertElliottNoise, NoiseModel
+from repro.phy.rf import RfFrontEnd
+from repro.phy.transmission import Transmission, TxMeta
+from repro.sim.module import Module
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Reception:
+    """A completed reception at one radio.
+
+    Attributes:
+        tx: the transmission that was received.
+        result: staged decode outcome.
+        collided: True when the channel resolver saw overlapping packets.
+        rx_time_ns: receiver-side end-of-packet time.
+    """
+
+    tx: Transmission
+    result: DecodeResult
+    collided: bool
+    rx_time_ns: int
+
+    @property
+    def packet(self) -> Packet:
+        """The decoded packet (only valid when ``result.complete``)."""
+        assert self.result.packet is not None
+        return self.result.packet
+
+
+class Channel(Module):
+    """Single shared medium connecting every radio in the simulation."""
+
+    def __init__(self, sim: Simulator, name: str, config: SimulationConfig,
+                 rngs: RandomStreams):
+        super().__init__(sim, name, parent=None)
+        self.config = config
+        self.radios: list[RfFrontEnd] = []
+        self._active_by_freq: dict[int, list[Transmission]] = {}
+        self._pending: dict[tuple[int, int], DecodeResult] = {}
+        noise_rng = rngs.stream("channel.noise")
+        if config.noise.burst_avg_len > 1.0:
+            self.noise: NoiseModel = GilbertElliottNoise(
+                config.noise.ber, config.noise.burst_avg_len, noise_rng
+            )
+        else:
+            self.noise = BerNoise(config.noise.ber, noise_rng)
+        self.stage_model = StageErrorModel(config.noise.ber, rngs.stream("channel.stages"))
+        self.transmissions = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self, radio: RfFrontEnd) -> None:
+        """Register a radio on the medium."""
+        if radio in self.radios:
+            raise ChannelError(f"radio {radio.path} attached twice")
+        self.radios.append(radio)
+
+    def abort_reception(self, radio: RfFrontEnd) -> None:
+        """A radio powered down mid-lock; drop its pending decodes."""
+        stale = [key for key in self._pending if key[1] == id(radio)]
+        for key in stale:
+            del self._pending[key]
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+
+    def transmit(self, radio: RfFrontEnd, freq: int, packet: Packet,
+                 uap: int = 0, meta: TxMeta | None = None) -> Transmission:
+        """Put a packet on the air and schedule listener-side stages."""
+        if not 0 <= freq < 79:
+            raise ChannelError(f"RF channel out of range: {freq}")
+        now = self.sim.now
+        tx = Transmission(
+            radio=radio,
+            freq=freq,
+            packet=packet,
+            start_ns=now,
+            duration_ns=packet.duration_ns,
+            tx_clk=_whiten_clk(packet, radio, now),
+            tx_uap=uap,
+            meta=meta if meta is not None else TxMeta(),
+        )
+        if self.config.bit_accurate:
+            tx.air_bits = encode_packet(packet, uap=tx.tx_uap, clk=tx.tx_clk)
+        self.transmissions += 1
+
+        # collision resolution: any live overlap on the same frequency
+        live = [t for t in self._active_by_freq.get(freq, []) if t.end_ns > now]
+        for other in live:
+            other.corrupted = True
+            tx.corrupted = True
+            self.collisions += 1
+        live.append(tx)
+        self._active_by_freq[freq] = live
+
+        # Scan for listeners one delta cycle later, so that receivers being
+        # retuned/opened by other events at this same instant (e.g. a slave
+        # hopping at the slot boundary the master transmits on) are seen in
+        # their settled state. Physical timing is unaffected: the sync stage
+        # is 68 us away.
+        self.sim.schedule_delta(lambda: self._scan_listeners(tx))
+        self.sim.schedule_abs(now + tx.duration_ns, lambda: self._expire(tx))
+        return tx
+
+    def _scan_listeners(self, tx: Transmission) -> None:
+        delay = self.config.rf.modem_delay_ns
+        for listener in self.radios:
+            if listener is tx.radio or not listener.rx_open or listener.tx_busy:
+                continue
+            if not listener.tuned_to(tx.freq):
+                continue
+            if self.config.rf.carrier_sense:
+                listener.carrier_detected(tx)
+            self.sim.schedule_abs(
+                tx.start_ns + delay + SYNC_DECISION_NS,
+                lambda tx=tx, listener=listener: self._sync_stage(tx, listener),
+            )
+
+    def _expire(self, tx: Transmission) -> None:
+        live = self._active_by_freq.get(tx.freq, [])
+        if tx in live:
+            live.remove(tx)
+
+    # ------------------------------------------------------------------
+    # Receive path (staged)
+    # ------------------------------------------------------------------
+
+    def _sync_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
+        if not listener.rx_open or not (listener.locked_tx is tx
+                                        or listener.tuned_to(tx.freq)):
+            if listener.locked_tx is tx:
+                listener.locked_tx = None
+            return
+        if listener.locked_tx is not None and listener.locked_tx is not tx:
+            return  # already locked onto a different packet
+
+        result = self._full_decode(tx, listener)
+        matched = result.synced and not tx.corrupted
+        listener.deliver_sync(tx, matched)
+
+        if tx.packet.ptype is PacketType.ID:
+            self._deliver_end(tx, listener, result)
+            return
+        if not (matched and listener.locked_tx is tx):
+            return  # listener declined or sync failed; no further stages
+        self._pending[(id(tx), id(listener))] = result
+        delay = self.config.rf.modem_delay_ns
+        self.sim.schedule_abs(
+            tx.start_ns + delay + HEADER_DECISION_NS,
+            lambda: self._header_stage(tx, listener),
+        )
+
+    def _header_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
+        result = self._pending.get((id(tx), id(listener)))
+        if result is None or listener.locked_tx is not tx:
+            return
+        am_addr = result.packet.am_addr if (result.header_ok and result.packet) else None
+        if tx.corrupted:
+            am_addr = None
+        keep = True
+        if listener.listener is not None and hasattr(listener.listener, "on_header"):
+            keep = bool(listener.listener.on_header(tx, result.header_ok and not tx.corrupted, am_addr))
+        if not keep:
+            self._pending.pop((id(tx), id(listener)), None)
+            listener.locked_tx = None
+            return
+        delay = self.config.rf.modem_delay_ns
+        self.sim.schedule_abs(
+            tx.end_ns + delay,
+            lambda: self._end_stage(tx, listener),
+        )
+
+    def _end_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
+        result = self._pending.pop((id(tx), id(listener)), None)
+        if result is None or listener.locked_tx is not tx:
+            return
+        self._deliver_end(tx, listener, result)
+
+    def _deliver_end(self, tx: Transmission, listener: RfFrontEnd,
+                     result: DecodeResult) -> None:
+        if tx.corrupted:
+            # resolver 'X': whatever the stage draw said, the frame is junk
+            result = DecodeResult(synced=result.synced, header_ok=False,
+                                  payload_ok=False, packet=None, stage="header")
+        reception = Reception(tx=tx, result=result, collided=tx.corrupted,
+                              rx_time_ns=self.sim.now)
+        listener.deliver_end(reception)
+
+    # ------------------------------------------------------------------
+    # Decode-outcome draw (once per transmission/listener pair)
+    # ------------------------------------------------------------------
+
+    def _threshold_for(self, packet: Packet) -> int:
+        """ID packets are detected by the sliding correlator; framed packets
+        use the (possibly stricter, paper-profile) sync threshold."""
+        if packet.ptype is PacketType.ID:
+            return self.config.link.id_sync_threshold
+        return self.config.link.sync_threshold
+
+    def _full_decode(self, tx: Transmission, listener: RfFrontEnd) -> DecodeResult:
+        expect = listener.expect
+        if expect is None or expect.lap != tx.packet.lap:
+            return DecodeResult(synced=False, stage="sync")
+        threshold = self._threshold_for(tx.packet)
+        if self.config.bit_accurate:
+            assert tx.air_bits is not None
+            noisy = flip_bits(tx.air_bits, self.noise.error_positions(len(tx.air_bits)))
+            return decode_packet(noisy, expect.lap, tx.tx_uap, tx.tx_clk,
+                                 sync_threshold=threshold)
+        packet = tx.packet
+        if not self.stage_model.sample_sync(threshold):
+            return DecodeResult(synced=False, stage="sync")
+        if packet.ptype is PacketType.ID:
+            return DecodeResult(synced=True, header_ok=True, payload_ok=True,
+                                packet=Packet(ptype=PacketType.ID, lap=packet.lap),
+                                stage="payload")
+        if not self.stage_model.sample_header():
+            return DecodeResult(synced=True, header_ok=False, stage="header")
+        if not self.stage_model.sample_payload(packet.ptype, len(packet.payload)):
+            result = DecodeResult(synced=True, header_ok=True, payload_ok=False,
+                                  packet=packet, stage="payload")
+        else:
+            result = DecodeResult(synced=True, header_ok=True, payload_ok=True,
+                                  packet=packet, stage="payload")
+        result.set_header_fields(packet.am_addr, packet.ptype.info.code,
+                                 packet.arqn, packet.seqn)
+        return result
+
+
+def _whiten_clk(packet: Packet, radio: RfFrontEnd, now_ns: int) -> int:
+    """Whitening clock: 0 for FHS (sender/receiver are not yet synchronised
+    during page/inquiry — documented simplification), else the sender's
+    current clock."""
+    if packet.ptype is PacketType.FHS:
+        return 0
+    return radio.clock.clk(now_ns)

@@ -1,0 +1,86 @@
+"""Channel noise models.
+
+The paper's channel flips bits independently with a fixed BER; we add a
+Gilbert-Elliott bursty variant as an extension (disabled by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NoiseModel:
+    """Interface: draw error positions for a frame of ``n`` bits."""
+
+    def error_positions(self, n: int) -> np.ndarray:
+        """Indices of inverted bits in a frame of length ``n``."""
+        raise NotImplementedError
+
+    def error_count(self, n: int) -> int:
+        """Number of inverted bits in a frame of length ``n`` (cheap path)."""
+        return len(self.error_positions(n))
+
+
+class BerNoise(NoiseModel):
+    """Independent bit inversions with probability ``ber``."""
+
+    def __init__(self, ber: float, rng: np.random.Generator):
+        self.ber = float(ber)
+        self._rng = rng
+
+    def error_positions(self, n: int) -> np.ndarray:
+        if self.ber <= 0.0 or n == 0:
+            return np.zeros(0, dtype=np.int64)
+        count = self._rng.binomial(n, self.ber)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._rng.choice(n, size=count, replace=False)
+
+    def error_count(self, n: int) -> int:
+        if self.ber <= 0.0 or n == 0:
+            return 0
+        return int(self._rng.binomial(n, self.ber))
+
+
+class GilbertElliottNoise(NoiseModel):
+    """Two-state burst noise with the same average BER as requested.
+
+    The channel alternates between a good state (error-free) and a bad
+    state (error probability ``bad_ber``); the mean sojourn in the bad
+    state is ``burst_len`` bits and the stationary mix reproduces the
+    requested average BER.
+    """
+
+    def __init__(self, ber: float, burst_len: float, rng: np.random.Generator,
+                 bad_ber: float = 0.5):
+        if not 0 < bad_ber <= 0.5:
+            raise ValueError("bad_ber must lie in (0, 0.5]")
+        self.ber = float(ber)
+        self.bad_ber = bad_ber
+        self._rng = rng
+        # stationary P(bad) to hit the average BER
+        p_bad = min(1.0, ber / bad_ber)
+        self._p_leave_bad = 1.0 / max(burst_len, 1.0)
+        if p_bad >= 1.0:
+            self._p_enter_bad = 1.0
+        else:
+            self._p_enter_bad = self._p_leave_bad * p_bad / (1.0 - p_bad)
+        self._bad = False
+
+    def error_positions(self, n: int) -> np.ndarray:
+        if self.ber <= 0.0 or n == 0:
+            return np.zeros(0, dtype=np.int64)
+        positions = []
+        bad = self._bad
+        enter, leave = self._p_enter_bad, self._p_leave_bad
+        uniforms = self._rng.random(2 * n)
+        for i in range(n):
+            if bad:
+                if uniforms[2 * i] < self.bad_ber:
+                    positions.append(i)
+                if uniforms[2 * i + 1] < leave:
+                    bad = False
+            elif uniforms[2 * i + 1] < enter:
+                bad = True
+        self._bad = bad
+        return np.array(positions, dtype=np.int64)

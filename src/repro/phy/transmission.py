@@ -1,0 +1,65 @@
+"""In-flight transmission records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.baseband.packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.phy.rf import RfFrontEnd
+
+
+@dataclass(frozen=True)
+class TxMeta:
+    """Side information the link layer attaches to a transmission.
+
+    Attributes:
+        hop_phase: the page/inquiry hop phase index the packet was sent on.
+            Receivers use it to compute the paired response frequency (the
+            spec fixes this pairing; carrying the index models the
+            deterministic relationship without re-deriving the sender's
+            clock).
+        purpose: free-form tag ('inquiry_id', 'page_fhs', ...) for traces.
+    """
+
+    hop_phase: Optional[int] = None
+    purpose: str = ""
+
+
+@dataclass
+class Transmission:
+    """One packet on the air.
+
+    Attributes:
+        radio: the transmitting RF front-end.
+        freq: RF channel 0..78.
+        packet: the logical packet.
+        air_bits: encoded frame in bit-accurate mode, else None.
+        start_ns / duration_ns: on-air interval (transmitter-side times;
+            receivers perceive everything shifted by the modem delay).
+        tx_clk: the clock value the transmitter encoded with (whitening).
+        tx_uap: the UAP the transmitter encoded with (HEC/CRC init).
+        corrupted: set when another transmission overlapped on the same
+            frequency (the channel resolver's 'X').
+        meta: link-layer side information.
+    """
+
+    radio: "RfFrontEnd"
+    freq: int
+    packet: Packet
+    start_ns: int
+    duration_ns: int
+    tx_clk: int = 0
+    tx_uap: int = 0
+    air_bits: Optional[np.ndarray] = None
+    corrupted: bool = False
+    meta: TxMeta = field(default_factory=TxMeta)
+
+    @property
+    def end_ns(self) -> int:
+        """Transmitter-side end time."""
+        return self.start_ns + self.duration_ns

@@ -1,0 +1,13 @@
+"""Power and RF-activity accounting.
+
+The paper's central power metric is *RF activity*: the fraction of time a
+device's RF transmitter/receiver enables are asserted (its Figs. 10-12).
+:mod:`repro.power.rf_activity` measures it exactly from the enable signals;
+:mod:`repro.power.model` converts state residencies into average current /
+energy for the lifecycle experiment.
+"""
+
+from repro.power.model import PowerModel, PowerReport
+from repro.power.rf_activity import RfActivityProbe
+
+__all__ = ["PowerModel", "PowerReport", "RfActivityProbe"]

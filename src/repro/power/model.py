@@ -1,0 +1,74 @@
+"""Average-power / energy model on top of the RF activity probes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro import units
+from repro.power.rf_activity import RfActivitySample
+from repro.power.states import DEFAULT_CURRENT_MA, SUPPLY_VOLTS, RadioState
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Average power decomposition over one measurement window.
+
+    Attributes:
+        avg_current_ma: time-weighted average current.
+        avg_power_mw: average power at the supply voltage.
+        energy_mj: energy consumed over the window.
+        residency: fraction of time per radio state.
+    """
+
+    avg_current_ma: float
+    avg_power_mw: float
+    energy_mj: float
+    residency: Mapping[RadioState, float]
+
+
+@dataclass
+class PowerModel:
+    """Converts RF activity into current/power/energy.
+
+    The radio is TX while enable_tx is high, RX while enable_rx is high,
+    and otherwise IDLE (or SLEEP when the link controller is in a low-power
+    mode and ``sleep_fraction`` of the residual time is spent asleep —
+    callers pass it explicitly since only they know the mode schedule).
+    """
+
+    currents_ma: dict[RadioState, float] = field(
+        default_factory=lambda: dict(DEFAULT_CURRENT_MA))
+    volts: float = SUPPLY_VOLTS
+
+    def report(self, sample: RfActivitySample,
+               sleep_fraction: Optional[float] = None) -> PowerReport:
+        """Build a power report from an activity sample.
+
+        Args:
+            sample: RF activity over the window.
+            sleep_fraction: fraction of the *residual* (non-TX, non-RX) time
+                spent in deep sleep; default 0 (all residual time idles).
+        """
+        tx = sample.tx_activity
+        rx = sample.rx_activity
+        residual = max(0.0, 1.0 - tx - rx)
+        sleep_fraction = 0.0 if sleep_fraction is None else sleep_fraction
+        sleep = residual * sleep_fraction
+        idle = residual - sleep
+        residency = {
+            RadioState.TX: tx,
+            RadioState.RX: rx,
+            RadioState.IDLE: idle,
+            RadioState.SLEEP: sleep,
+        }
+        current = sum(self.currents_ma[state] * share
+                      for state, share in residency.items())
+        power_mw = current * self.volts
+        seconds = sample.observed_ns / units.SEC
+        return PowerReport(
+            avg_current_ma=current,
+            avg_power_mw=power_mw,
+            energy_mj=power_mw * seconds,
+            residency=residency,
+        )

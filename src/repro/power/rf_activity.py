@@ -1,0 +1,60 @@
+"""Exact RF-activity measurement from the radio enable signals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.monitor import ActivityMonitor, EdgeCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.link.device import BluetoothDevice
+
+
+@dataclass(frozen=True)
+class RfActivitySample:
+    """One measurement window.
+
+    Attributes:
+        tx_activity: fraction of time enable_tx_RF was asserted.
+        rx_activity: fraction of time enable_rx_RF was asserted.
+        observed_ns: window length.
+        rx_windows: number of receiver power-ups in the window.
+    """
+
+    tx_activity: float
+    rx_activity: float
+    observed_ns: int
+    rx_windows: int
+
+    @property
+    def total_activity(self) -> float:
+        """TX + RX activity — the paper's 'RF activity (TX+RX)'."""
+        return self.tx_activity + self.rx_activity
+
+
+class RfActivityProbe:
+    """Attaches to a device and integrates its RF enable on-times."""
+
+    def __init__(self, device: "BluetoothDevice"):
+        self.device = device
+        self._tx = ActivityMonitor(device.sim, device.rf.enable_tx)
+        self._rx = ActivityMonitor(device.sim, device.rf.enable_rx)
+        self._edges = EdgeCounter(device.rf.enable_rx)
+        self._edges_at_reset = 0
+
+    def reset(self) -> None:
+        """Start a fresh measurement window (e.g. after warm-up)."""
+        self._tx.reset()
+        self._rx.reset()
+        self._edges_at_reset = self._edges.rising
+
+    def sample(self) -> RfActivitySample:
+        """Snapshot the current window."""
+        observed = self._tx.observed_ns()
+        return RfActivitySample(
+            tx_activity=self._tx.duty(),
+            rx_activity=self._rx.duty(),
+            observed_ns=observed,
+            rx_windows=self._edges.rising - self._edges_at_reset,
+        )

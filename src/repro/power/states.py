@@ -1,0 +1,34 @@
+"""Radio/digital power states and default current assumptions.
+
+The paper reports relative RF activity rather than absolute power; to
+support the lifecycle extension experiment we attach typical currents of a
+2005-era Bluetooth module (CSR BlueCore-class, 3.0 V supply). The absolute
+numbers are assumptions — documented here, swappable via
+:class:`~repro.power.model.PowerModel` — but the *ratios* between phases
+are what the experiment checks.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """Mutually exclusive radio power states."""
+
+    TX = "tx"
+    RX = "rx"
+    IDLE = "idle"      # baseband running, radio off
+    SLEEP = "sleep"    # deep sleep between sniff/hold/park wakeups
+
+
+#: Default current draw per state, in milliamps at 3.0 V.
+DEFAULT_CURRENT_MA = {
+    RadioState.TX: 60.0,
+    RadioState.RX: 45.0,
+    RadioState.IDLE: 2.5,
+    RadioState.SLEEP: 0.06,
+}
+
+#: Supply voltage used for energy conversion.
+SUPPLY_VOLTS = 3.0

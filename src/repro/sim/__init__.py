@@ -1,0 +1,37 @@
+"""SystemC-like discrete-event simulation kernel.
+
+This subpackage is the substrate the paper's SystemC platform provides:
+an event scheduler with delta cycles, generator-based processes, signals
+with deferred (delta-delayed) writes, module hierarchy, clock generators,
+four-valued logic, waveform tracing (VCD) and activity monitors.
+"""
+
+from repro.sim.clock import ClockGen
+from repro.sim.event import EventHandle
+from repro.sim.logic import Logic, resolve
+from repro.sim.module import Module
+from repro.sim.monitor import ActivityMonitor, EdgeCounter
+from repro.sim.process import Delay, WaitSignal, Process
+from repro.sim.rng import RandomStreams
+from repro.sim.signal import Signal
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.sim.vcd import VcdWriter
+
+__all__ = [
+    "ActivityMonitor",
+    "ClockGen",
+    "Delay",
+    "EdgeCounter",
+    "EventHandle",
+    "Logic",
+    "Module",
+    "Process",
+    "RandomStreams",
+    "Signal",
+    "Simulator",
+    "TraceRecorder",
+    "VcdWriter",
+    "WaitSignal",
+    "resolve",
+]

@@ -1,0 +1,64 @@
+"""Clock generator module (``sc_clock`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.module import Module
+from repro.sim.signal import Signal
+from repro.sim.simulator import Simulator
+
+
+class ClockGen(Module):
+    """Generates a periodic boolean clock signal.
+
+    The clock is event-driven but lazy: ticks are only scheduled while at
+    least one subscriber or the ``clk`` signal itself is in use, which keeps
+    idle clocks free. For the Bluetooth model we mostly use the cheaper
+    callback form (:meth:`every_tick`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        period_ns: int,
+        parent: Optional[Module] = None,
+        start_ns: int = 0,
+        drive_signal: bool = False,
+    ):
+        super().__init__(sim, name, parent)
+        if period_ns <= 0:
+            raise SimulationError(f"clock period must be positive, got {period_ns}")
+        self.period_ns = period_ns
+        self.start_ns = start_ns
+        self.ticks: int = 0
+        self.clk: Signal[bool] = self.signal("clk", False)
+        self._callbacks: list[Callable[[int], None]] = []
+        self._running = False
+        self._drive_signal = drive_signal
+
+    def every_tick(self, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(tick_index)`` at every rising edge."""
+        self._callbacks.append(callback)
+        self._ensure_running()
+
+    def start(self) -> None:
+        """Begin ticking even with no subscribers (drives ``clk``)."""
+        self._drive_signal = True
+        self._ensure_running()
+
+    def _ensure_running(self) -> None:
+        if not self._running:
+            self._running = True
+            self.sim.schedule_abs(max(self.sim.now, self.start_ns), self._tick)
+
+    def _tick(self) -> None:
+        index = self.ticks
+        self.ticks += 1
+        if self._drive_signal:
+            self.clk.write(not self.clk.read())
+        for callback in self._callbacks:
+            callback(index)
+        self.sim.schedule(self.period_ns, self._tick)

@@ -1,0 +1,60 @@
+"""Scheduled-event bookkeeping for the kernel.
+
+Events are callbacks ordered by a ``(time_ns, delta, sequence)`` key.
+``delta`` implements SystemC-style delta cycles: signal updates commit one
+delta after the write, so same-timestamp communication between modules is
+deterministic and race-free. ``sequence`` makes the ordering total and FIFO
+among equals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal heap entry. Use :class:`EventHandle` to cancel from outside."""
+
+    time_ns: int
+    delta: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A cancellation token for a scheduled event.
+
+    Handles are cheap and safe: cancelling an event that already fired (or
+    cancelling twice) is a no-op that returns False.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> bool:
+        """Prevent the event from firing. Returns True if it was pending."""
+        event = self._event
+        if event.cancelled or event.callback is _FIRED:
+            return False
+        event.cancelled = True
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        event = self._event
+        return not event.cancelled and event.callback is not _FIRED
+
+    @property
+    def time_ns(self) -> int:
+        """Absolute firing time of the event."""
+        return self._event.time_ns
+
+
+def _FIRED() -> None:  # sentinel callback installed after dispatch
+    raise AssertionError("fired sentinel must never be called")

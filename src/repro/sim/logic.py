@@ -1,0 +1,84 @@
+"""Four-valued digital logic: 0, 1, Z (high impedance) and X (conflict).
+
+The paper's channel model (its Fig. 2) drives a shared medium from several
+Bluetooth devices: a device that is not transmitting drives ``Z``; when two
+or more devices transmit simultaneously the "channel resolver" forces the
+receivers' input to ``X``. :func:`resolve` implements exactly that truth
+table, and :class:`Logic` is the value type used by traced control signals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Logic(enum.Enum):
+    """A four-valued logic level, ordered Z < 0/1 < X in drive strength."""
+
+    ZERO = "0"
+    ONE = "1"
+    Z = "z"
+    X = "x"
+
+    def __bool__(self) -> bool:
+        return self is Logic.ONE
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Logic":
+        """Map a Python bool onto a driven logic level."""
+        return cls.ONE if value else cls.ZERO
+
+    @classmethod
+    def from_char(cls, char: str) -> "Logic":
+        """Parse '0', '1', 'z'/'Z' or 'x'/'X'."""
+        try:
+            return _CHAR_TABLE[char.lower()]
+        except KeyError:
+            raise ValueError(f"not a logic character: {char!r}") from None
+
+    @property
+    def is_driven(self) -> bool:
+        """True when the level is a definite 0 or 1."""
+        return self in (Logic.ZERO, Logic.ONE)
+
+
+_CHAR_TABLE = {
+    "0": Logic.ZERO,
+    "1": Logic.ONE,
+    "z": Logic.Z,
+    "x": Logic.X,
+}
+
+
+def resolve2(a: Logic, b: Logic) -> Logic:
+    """Resolve two simultaneous drivers of one wire.
+
+    Truth table (symmetric):
+      * ``Z`` yields to anything (an undriven output does not disturb).
+      * equal driven values agree;
+      * ``0`` against ``1`` collides into ``X``;
+      * ``X`` is absorbing.
+    """
+    if a is Logic.Z:
+        return b
+    if b is Logic.Z:
+        return a
+    if a is Logic.X or b is Logic.X:
+        return Logic.X
+    if a is b:
+        return a
+    return Logic.X
+
+
+def resolve(drivers: Iterable[Logic]) -> Logic:
+    """Resolve any number of drivers; an empty wire floats at ``Z``."""
+    value = Logic.Z
+    for driver in drivers:
+        value = resolve2(value, driver)
+        if value is Logic.X:
+            return Logic.X
+    return value

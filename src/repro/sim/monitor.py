@@ -1,0 +1,76 @@
+"""Activity monitors: integrate how long boolean signals spend high.
+
+The paper's key power metric is *RF activity* — the fraction of time the
+``enable_tx_RF`` / ``enable_rx_RF`` signals are asserted. An
+:class:`ActivityMonitor` subscribes to such a signal and accumulates exact
+on-time in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.sim.signal import Signal
+from repro.sim.simulator import Simulator
+
+
+class ActivityMonitor:
+    """Integrates the high-time of a boolean signal."""
+
+    def __init__(self, sim: Simulator, signal: Signal[bool]):
+        self._sim = sim
+        self._signal = signal
+        self._accumulated_ns = 0
+        self._high_since = sim.now if signal.read() else None
+        self._start_ns = sim.now
+        signal.subscribe(self._on_change)
+
+    def _on_change(self, old: bool, new: bool) -> None:
+        now = self._sim.now
+        if new and self._high_since is None:
+            self._high_since = now
+        elif not new and self._high_since is not None:
+            self._accumulated_ns += now - self._high_since
+            self._high_since = None
+
+    # ------------------------------------------------------------------
+
+    def on_time_ns(self) -> int:
+        """Total nanoseconds the signal has been high since monitoring began."""
+        total = self._accumulated_ns
+        if self._high_since is not None:
+            total += self._sim.now - self._high_since
+        return total
+
+    def observed_ns(self) -> int:
+        """Total nanoseconds of observation."""
+        return self._sim.now - self._start_ns
+
+    def duty(self) -> float:
+        """Fraction of observed time the signal was high (0.0 if no time)."""
+        observed = self.observed_ns()
+        if observed == 0:
+            return 0.0
+        return self.on_time_ns() / observed
+
+    def reset(self) -> None:
+        """Forget history; start integrating afresh from the current time."""
+        self._accumulated_ns = 0
+        self._start_ns = self._sim.now
+        if self._signal.read():
+            self._high_since = self._sim.now
+        else:
+            self._high_since = None
+
+
+class EdgeCounter:
+    """Counts rising edges of a boolean signal (e.g. RX window openings)."""
+
+    def __init__(self, signal: Signal[bool]):
+        self.rising = 0
+        self.falling = 0
+        signal.subscribe(self._on_change)
+
+    def _on_change(self, old: bool, new: bool) -> None:
+        if new and not old:
+            self.rising += 1
+        elif old and not new:
+            self.falling += 1

@@ -1,0 +1,108 @@
+"""Generator-based simulation processes (SystemC SC_THREAD analogue).
+
+A process is a Python generator that yields *wait statements*:
+
+* ``Delay(ns)`` — resume after a fixed time;
+* ``WaitSignal(sig)`` — resume at the next committed change of a signal,
+  optionally only on a specific new value (edge).
+
+Example::
+
+    def blinker(sim, led):
+        while True:
+            led.write(not led.read())
+            yield Delay(500 * units.US)
+
+    Process(sim, "blinker", blinker(sim, led))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.errors import ProcessError
+from repro.sim.signal import Signal
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Wait statement: resume after ``ns`` nanoseconds."""
+
+    ns: int
+
+
+@dataclass(frozen=True)
+class WaitSignal:
+    """Wait statement: resume on the next change of ``signal``.
+
+    If ``value`` is provided, resume only when the committed new value equals
+    it (e.g. a rising edge for bool signals with ``value=True``).
+    """
+
+    signal: Signal
+    value: Optional[Any] = None
+
+
+class Process:
+    """Drives a generator through the kernel until it returns or is killed."""
+
+    def __init__(self, sim: Simulator, name: str, generator: Generator, start_ns: int = 0):
+        self._sim = sim
+        self.name = name
+        self._generator = generator
+        self._alive = True
+        self._waiting_signal: Optional[Signal] = None
+        self._wanted_value: Optional[Any] = None
+        sim.schedule(start_ns, self._step)
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns, raises, or is killed."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Terminate the process; it will never be resumed."""
+        self._alive = False
+        self._detach_signal()
+        self._generator.close()
+
+    # -- internals --------------------------------------------------------
+
+    def _step(self) -> None:
+        if not self._alive:
+            return
+        try:
+            statement = next(self._generator)
+        except StopIteration:
+            self._alive = False
+            return
+        self._dispatch(statement)
+
+    def _dispatch(self, statement: Any) -> None:
+        if isinstance(statement, Delay):
+            self._sim.schedule(statement.ns, self._step)
+        elif isinstance(statement, WaitSignal):
+            self._waiting_signal = statement.signal
+            self._wanted_value = statement.value
+            statement.signal.subscribe(self._on_signal)
+        else:
+            self._alive = False
+            raise ProcessError(
+                f"process {self.name!r} yielded {statement!r}; "
+                "expected Delay or WaitSignal"
+            )
+
+    def _on_signal(self, old: Any, new: Any) -> None:
+        if self._wanted_value is not None and new != self._wanted_value:
+            return
+        self._detach_signal()
+        # Resume in a fresh delta so the resumption observes a settled state.
+        self._sim.schedule_delta(self._step)
+
+    def _detach_signal(self) -> None:
+        if self._waiting_signal is not None:
+            self._waiting_signal.unsubscribe(self._on_signal)
+            self._waiting_signal = None
+            self._wanted_value = None

@@ -1,0 +1,62 @@
+"""The event queue: a binary heap of :class:`ScheduledEvent` entries."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import EventHandle, ScheduledEvent
+
+
+class EventQueue:
+    """Priority queue ordered by ``(time_ns, delta, sequence)``.
+
+    Cancelled events stay in the heap and are skipped on pop (lazy deletion),
+    which keeps cancellation O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time_ns: int, delta: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_ns``, delta ``delta``."""
+        if time_ns < 0:
+            raise SimulationError(f"cannot schedule at negative time {time_ns}")
+        self._sequence += 1
+        event = ScheduledEvent(time_ns, delta, self._sequence, callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return EventHandle(event)
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest live event, or None when empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[tuple[int, int]]:
+        """Return (time_ns, delta) of the earliest live event without popping."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            self._live = 0
+            return None
+        return (heap[0].time_ns, heap[0].delta)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,98 @@
+"""Signals with delta-delayed writes and change notification.
+
+A :class:`Signal` mimics ``sc_signal``: ``write()`` does not change the
+visible value immediately; the new value commits one delta cycle later, and
+subscribers are notified after the commit. Multiple writes within the same
+delta collapse to the last one (last-write-wins, like SystemC's request/
+update semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.sim.simulator import Simulator
+
+T = TypeVar("T")
+
+_NO_WRITE = object()
+
+
+class Signal(Generic[T]):
+    """A single-driver signal carrying values of type ``T``.
+
+    Attributes:
+        name: hierarchical name (used by tracers).
+    """
+
+    def __init__(self, sim: Simulator, name: str, initial: T):
+        self._sim = sim
+        self.name = name
+        self._value: T = initial
+        self._pending: object = _NO_WRITE
+        self._update_scheduled = False
+        self._subscribers: list[Callable[[T, T], None]] = []
+        self._last_change_ns: int = 0
+
+    # -- value access ---------------------------------------------------
+
+    def read(self) -> T:
+        """Current committed value."""
+        return self._value
+
+    @property
+    def value(self) -> T:
+        """Alias for :meth:`read`, convenient in expressions."""
+        return self._value
+
+    def write(self, value: T) -> None:
+        """Request the signal to take ``value`` one delta cycle from now."""
+        self._pending = value
+        if not self._update_scheduled:
+            self._update_scheduled = True
+            self._sim.schedule_delta(self._commit)
+
+    def write_now(self, value: T) -> None:
+        """Commit ``value`` immediately (bypasses the delta delay).
+
+        Use only from contexts that are not racing other readers, e.g.
+        initialisation before the simulation starts.
+        """
+        self._pending = value
+        self._update_scheduled = False
+        self._commit()
+
+    # -- subscription -----------------------------------------------------
+
+    def subscribe(self, callback: Callable[[T, T], None]) -> None:
+        """Call ``callback(old, new)`` after every committed change."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[T, T], None]) -> None:
+        """Remove a previously subscribed callback."""
+        self._subscribers.remove(callback)
+
+    @property
+    def last_change_ns(self) -> int:
+        """Simulation time of the most recent committed change."""
+        return self._last_change_ns
+
+    # -- internals --------------------------------------------------------
+
+    def _commit(self) -> None:
+        self._update_scheduled = False
+        pending = self._pending
+        if pending is _NO_WRITE:
+            return
+        self._pending = _NO_WRITE
+        old = self._value
+        new = pending  # type: ignore[assignment]
+        if new == old:
+            return
+        self._value = new
+        self._last_change_ns = self._sim.now
+        for callback in list(self._subscribers):
+            callback(old, new)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name}={self._value!r})"

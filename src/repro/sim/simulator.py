@@ -1,0 +1,134 @@
+"""The simulation kernel: advances time, fires events, hosts processes."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim import event as _event
+from repro.sim.event import EventHandle
+from repro.sim.scheduler import EventQueue
+
+
+class Simulator:
+    """A discrete-event simulator with SystemC-style delta cycles.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1_000, lambda: print("at 1us"))
+        sim.run(until_ns=1_000_000)
+
+    Attributes:
+        now: current simulation time in nanoseconds.
+        delta: current delta cycle within ``now`` (0 for ordinary events).
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self.delta: int = 0
+        self._queue = EventQueue()
+        self._stopped = False
+        self._events_dispatched = 0
+        self._end_callbacks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay_ns`` nanoseconds (>= 0)."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self._queue.push(self.now + delay_ns, 0, callback)
+
+    def schedule_abs(self, time_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute time ``time_ns`` (>= now)."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns, already at {self.now} ns"
+            )
+        return self._queue.push(time_ns, 0, callback)
+
+    def schedule_delta(self, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at the current time, one delta cycle later.
+
+        This is the primitive signal writes use: every observer of the
+        current instant sees the pre-write value, and the new value becomes
+        visible in the next delta.
+        """
+        return self._queue.push(self.now, self.delta + 1, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Dispatch events until the queue drains, ``until_ns`` is reached,
+        ``max_events`` have fired, or :meth:`stop` is called.
+
+        Events scheduled exactly at ``until_ns`` are *not* executed; time is
+        left at ``until_ns`` in that case (mirrors SystemC's sc_start).
+
+        Returns the number of events dispatched by this call.
+        """
+        self._stopped = False
+        dispatched = 0
+        queue = self._queue
+        while not self._stopped:
+            if max_events is not None and dispatched >= max_events:
+                break
+            head = queue.peek_time()
+            if head is None:
+                if until_ns is not None:
+                    self.now = max(self.now, until_ns)
+                break
+            time_ns, delta = head
+            if until_ns is not None and time_ns >= until_ns:
+                self.now = until_ns
+                self.delta = 0
+                break
+            event = queue.pop()
+            assert event is not None
+            if time_ns != self.now:
+                self.delta = 0
+            self.now = time_ns
+            self.delta = delta
+            callback = event.callback
+            event.callback = _event._FIRED
+            callback()
+            dispatched += 1
+        self._events_dispatched += dispatched
+        return dispatched
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the event being dispatched."""
+        self._stopped = True
+
+    def finish(self) -> None:
+        """Invoke registered end-of-simulation callbacks (tracers, reports)."""
+        for callback in self._end_callbacks:
+            callback()
+        self._end_callbacks.clear()
+
+    def at_end(self, callback: Callable[[], None]) -> None:
+        """Register a callback to run when :meth:`finish` is called."""
+        self._end_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (uncancelled, unfired) events in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events dispatched over the simulator's lifetime."""
+        return self._events_dispatched

@@ -1,0 +1,23 @@
+"""Monte Carlo harness and estimators for the paper's statistical figures."""
+
+from repro.stats.estimators import (
+    MeanEstimate,
+    ProportionEstimate,
+    mean_with_ci,
+    wilson_interval,
+)
+from repro.stats.montecarlo import MonteCarlo, TrialOutcome
+from repro.stats.sweep import Sweep, SweepPoint
+from repro.stats.tables import format_table
+
+__all__ = [
+    "MeanEstimate",
+    "MonteCarlo",
+    "ProportionEstimate",
+    "Sweep",
+    "SweepPoint",
+    "TrialOutcome",
+    "format_table",
+    "mean_with_ci",
+    "wilson_interval",
+]

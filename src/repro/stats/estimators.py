@@ -1,0 +1,72 @@
+"""Statistical estimators: means with confidence intervals, proportions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: two-sided 95 % normal quantile
+Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """Sample mean with a normal-approximation confidence interval."""
+
+    mean: float
+    ci_halfwidth: float
+    n: int
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci_halfwidth
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci_halfwidth:.1f} (n={self.n})"
+
+
+def mean_with_ci(values: Sequence[float], z: float = Z95) -> MeanEstimate:
+    """Mean and z·SE half-width. Empty input gives NaN mean."""
+    n = len(values)
+    if n == 0:
+        return MeanEstimate(mean=float("nan"), ci_halfwidth=float("nan"), n=0)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanEstimate(mean=mean, ci_halfwidth=float("inf"), n=1)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = z * math.sqrt(var / n)
+    return MeanEstimate(mean=mean, ci_halfwidth=half, n=n)
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """Proportion with a Wilson-score confidence interval."""
+
+    p: float
+    lo: float
+    hi: float
+    successes: int
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.p * 100:.1f}% [{self.lo * 100:.1f}, {self.hi * 100:.1f}] (n={self.n})"
+
+
+def wilson_interval(successes: int, n: int, z: float = Z95) -> ProportionEstimate:
+    """Wilson score interval — well-behaved at 0 %/100 % with small n."""
+    if n == 0:
+        return ProportionEstimate(p=float("nan"), lo=0.0, hi=1.0, successes=0, n=0)
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    p_hat = successes / n
+    denom = 1 + z * z / n
+    centre = (p_hat + z * z / (2 * n)) / denom
+    half = z * math.sqrt(p_hat * (1 - p_hat) / n + z * z / (4 * n * n)) / denom
+    return ProportionEstimate(p=p_hat, lo=max(0.0, centre - half),
+                              hi=min(1.0, centre + half),
+                              successes=successes, n=n)

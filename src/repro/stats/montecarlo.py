@@ -1,0 +1,83 @@
+"""Seeded Monte Carlo trial runner.
+
+Each trial gets a deterministic seed derived from (master seed, trial
+index), so any individual trial — including a failing one — can be replayed
+in isolation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Environment knob: scale trial counts in benches without editing code.
+TRIALS_ENV_VAR = "REPRO_TRIALS"
+
+
+def default_trials(requested: int) -> int:
+    """Apply the REPRO_TRIALS override, if set."""
+    override = os.environ.get(TRIALS_ENV_VAR)
+    if override:
+        return max(1, int(override))
+    return requested
+
+
+@dataclass
+class TrialOutcome:
+    """One trial's result.
+
+    Attributes:
+        seed: the trial's derived seed (replay handle).
+        success: trial-defined success flag.
+        value: trial-defined scalar (e.g. slots to complete).
+        extra: any additional payload.
+    """
+
+    seed: int
+    success: bool
+    value: float
+    extra: Any = None
+
+
+@dataclass
+class MonteCarlo:
+    """Runs ``trial_fn(seed) -> TrialOutcome`` over derived seeds.
+
+    Attributes:
+        master_seed: base seed; trial i uses ``master_seed * 10_000 + i``.
+        trials: number of trials.
+    """
+
+    master_seed: int
+    trials: int
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    def run(self, trial_fn: Callable[[int], TrialOutcome],
+            progress: Optional[Callable[[int, TrialOutcome], None]] = None,
+            ) -> list[TrialOutcome]:
+        """Execute all trials sequentially (deterministic order)."""
+        self.outcomes.clear()
+        for index in range(self.trials):
+            seed = self.master_seed * 10_000 + index
+            outcome = trial_fn(seed)
+            self.outcomes.append(outcome)
+            if progress is not None:
+                progress(index, outcome)
+        return self.outcomes
+
+    # -- aggregation -----------------------------------------------------
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for o in self.outcomes if o.success)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return 1.0 - self.successes / len(self.outcomes)
+
+    def successful_values(self) -> list[float]:
+        """Values of successful trials (the paper's conditional means)."""
+        return [o.value for o in self.outcomes if o.success]

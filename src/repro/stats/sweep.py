@@ -1,0 +1,53 @@
+"""Parameter sweeps: run a Monte Carlo batch per x-axis point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.stats.estimators import MeanEstimate, ProportionEstimate, mean_with_ci, wilson_interval
+from repro.stats.montecarlo import MonteCarlo, TrialOutcome
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated results at one x value."""
+
+    x: float
+    label: str
+    mean: MeanEstimate
+    success: ProportionEstimate
+    extra: Any = None
+
+    @property
+    def failure_rate(self) -> float:
+        return 1.0 - self.success.p
+
+
+@dataclass
+class Sweep:
+    """A one-dimensional parameter sweep with per-point Monte Carlo.
+
+    ``trial_fn(x, seed)`` must return a :class:`TrialOutcome`.
+    """
+
+    master_seed: int
+    trials_per_point: int
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def run(self, xs: list[tuple[float, str]],
+            trial_fn: Callable[[float, int], TrialOutcome]) -> list[SweepPoint]:
+        """Run the sweep; ``xs`` is a list of (value, label) pairs."""
+        self.points.clear()
+        for point_index, (x, label) in enumerate(xs):
+            mc = MonteCarlo(master_seed=self.master_seed + 7919 * point_index,
+                            trials=self.trials_per_point)
+            mc.run(lambda seed, x=x: trial_fn(x, seed))
+            self.points.append(SweepPoint(
+                x=x,
+                label=label,
+                mean=mean_with_ci(mc.successful_values()),
+                success=wilson_interval(mc.successes, len(mc.outcomes)),
+                extra=mc.outcomes,
+            ))
+        return self.points

@@ -1,0 +1,102 @@
+"""Sync words, access codes and BD_ADDR handling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baseband.access_code import (
+    AccessCode,
+    FULL_CODE_LEN,
+    ID_CODE_LEN,
+    sync_word,
+    sync_word_valid,
+)
+from repro.baseband.address import (
+    BdAddr,
+    DIAC_FIRST_LAP,
+    DIAC_LAST_LAP,
+    GIAC_LAP,
+)
+
+
+class TestSyncWord:
+    def test_valid_bch_codeword(self):
+        for lap in (0x000000, GIAC_LAP, 0x123456, 0xFFFFFF):
+            assert sync_word_valid(sync_word(lap))
+
+    def test_corruption_detected(self):
+        word = sync_word(0x13579B)
+        word[5] ^= 1
+        assert not sync_word_valid(word)
+
+    def test_deterministic(self):
+        assert np.array_equal(sync_word(0xABCDEF), sync_word(0xABCDEF))
+
+    def test_distinct_laps_far_apart(self):
+        laps = [0x000001, 0x123456, GIAC_LAP, 0xFFFFFF, 0xABCDEF, 0x800000]
+        for a, b in itertools.combinations(laps, 2):
+            distance = int(np.count_nonzero(sync_word(a) != sync_word(b)))
+            assert distance >= 14, (hex(a), hex(b), distance)
+
+    def test_lap_out_of_range(self):
+        with pytest.raises(ValueError):
+            sync_word(1 << 24)
+
+
+class TestAccessCode:
+    def test_id_length(self):
+        assert len(AccessCode(GIAC_LAP).id_bits()) == ID_CODE_LEN == 68
+
+    def test_full_length(self):
+        assert len(AccessCode(0x123456).full_bits()) == FULL_CODE_LEN == 72
+
+    def test_preamble_alternates_into_sync(self):
+        code = AccessCode(0x654321)
+        bits = code.id_bits()
+        # preamble is a 1010/0101 run whose last bit differs from sync[0]
+        assert bits[0] != bits[1] and bits[1] != bits[2] and bits[2] != bits[3]
+
+    def test_correlator_accepts_within_threshold(self):
+        code = AccessCode(0x39D5A1)
+        sync = code.sync.copy()
+        sync[:7] ^= 1
+        assert code.correlate(sync, threshold=7)
+        sync[7] ^= 1
+        assert not code.correlate(sync, threshold=7)
+
+    def test_correlator_rejects_other_lap(self):
+        a, b = AccessCode(0x111111), AccessCode(0x222222)
+        assert not a.correlate(b.sync, threshold=7)
+
+    def test_correlator_wrong_length(self):
+        with pytest.raises(ValueError):
+            AccessCode(1).correlate(np.zeros(10, dtype=np.uint8))
+
+
+class TestBdAddr:
+    def test_int_roundtrip(self):
+        addr = BdAddr(lap=0xABCDEF, uap=0x12, nap=0x3456)
+        assert BdAddr.from_int(addr.to_int()) == addr
+
+    def test_str_format(self):
+        addr = BdAddr(lap=0xABCDEF, uap=0x12, nap=0x3456)
+        assert str(addr) == "34:56:12:AB:CD:EF"
+
+    def test_hop_address_is_28_bits(self):
+        addr = BdAddr(lap=0xFFFFFF, uap=0xFF, nap=0)
+        assert addr.hop_address == 0xFFFFFFF
+
+    def test_random_avoids_reserved_laps(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            addr = BdAddr.random(rng)
+            assert not DIAC_FIRST_LAP <= addr.lap <= DIAC_LAST_LAP
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            BdAddr(lap=1 << 24)
+        with pytest.raises(ValueError):
+            BdAddr(lap=0, uap=256)
+        with pytest.raises(ValueError):
+            BdAddr(lap=0, nap=1 << 16)

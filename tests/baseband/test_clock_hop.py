@@ -1,0 +1,150 @@
+"""Bluetooth clock arithmetic and the hop-selection kernel."""
+
+from repro import units
+from repro.baseband.clock import BtClock
+from repro.baseband.hop import (
+    CHANNEL_REGISTER,
+    HopSelector,
+    KOFFSET_TRAIN_A,
+    KOFFSET_TRAIN_B,
+    inquiry_selector,
+    perm5,
+)
+
+
+class TestBtClock:
+    def test_ticks_advance_every_half_slot(self):
+        clock = BtClock(phase_ns=0)
+        assert clock.ticks(0) == 0
+        assert clock.ticks(units.TICK_NS - 1) == 0
+        assert clock.ticks(units.TICK_NS) == 1
+        assert clock.ticks(units.SLOT_NS) == 2
+
+    def test_phase_shifts_grid(self):
+        clock = BtClock(phase_ns=100_000)
+        assert clock.ticks(units.TICK_NS - 100_000) == 1
+
+    def test_clk_wraps_at_28_bits(self):
+        clock = BtClock(offset_ticks=units.CLKN_WRAP - 1)
+        assert clock.clk(0) == units.CLKN_WRAP - 1
+        assert clock.clk(units.TICK_NS) == 0
+
+    def test_time_at_tick_inverts_ticks(self):
+        clock = BtClock(phase_ns=123_000, offset_ticks=777)
+        for tick in (777, 1000, 54321):
+            time = clock.time_at_tick(tick)
+            assert clock.ticks(time) == tick
+            assert clock.ticks(time - 1) == tick - 1
+
+    def test_next_tick_time_strictly_future(self):
+        clock = BtClock()
+        t = clock.next_tick_time(0, modulo=4, residue=0)
+        assert t > 0
+        assert clock.ticks(t) % 4 == 0
+
+    def test_next_tick_with_residue(self):
+        clock = BtClock()
+        t = clock.next_tick_time(0, modulo=4, residue=2)
+        assert clock.ticks(t) % 4 == 2
+
+    def test_synchronise_to(self):
+        master = BtClock(phase_ns=55_000, offset_ticks=900_000)
+        slave = BtClock(phase_ns=200_000, offset_ticks=3)
+        slave.synchronise_to(master, now_ns=10 * units.SLOT_NS)
+        for t in (0, units.SLOT_NS * 7, units.SEC):
+            assert slave.clk(t) == master.clk(t)
+
+    def test_with_offset(self):
+        clock = BtClock(offset_ticks=10)
+        estimate = clock.with_offset(5)
+        assert estimate.ticks(0) == 15
+
+
+class TestPerm5:
+    def test_identity_with_zero_control(self):
+        for z in range(32):
+            assert perm5(z, 0) == z
+
+    def test_is_a_permutation(self):
+        for control in (0x1, 0x2AAA, 0x3FFF, 0x1234):
+            outputs = {perm5(z, control) for z in range(32)}
+            assert outputs == set(range(32))
+
+    def test_control_changes_mapping(self):
+        assert any(perm5(z, 0x3FFF) != z for z in range(32))
+
+
+class TestHopSelector:
+    def test_channel_register_interleaves(self):
+        assert CHANNEL_REGISTER[0] == 0
+        assert CHANNEL_REGISTER[39] == 78
+        assert CHANNEL_REGISTER[40] == 1
+        assert len(set(CHANNEL_REGISTER)) == 79
+
+    def test_all_frequencies_in_range(self):
+        selector = HopSelector(0x2A96EF25)
+        for clk in range(0, 10_000, 7):
+            assert 0 <= selector.connection(clk) < 79
+            assert 0 <= selector.page_scan(clk) < 79
+            assert 0 <= selector.page(clk) < 79
+
+    def test_connection_covers_all_79_channels(self):
+        selector = HopSelector(0x2A96EF25)
+        seen = {selector.connection(clk) for clk in range(0, 4 * 4096, 4)}
+        assert seen == set(range(79))
+
+    def test_connection_roughly_uniform(self):
+        selector = HopSelector(0x1234567)
+        counts = [0] * 79
+        samples = 79 * 64
+        for k in range(samples):
+            counts[selector.connection(4 * k)] += 1
+        expected = samples / 79
+        assert max(counts) < 3 * expected
+        assert min(counts) > expected / 3
+
+    def test_scan_frequency_changes_every_1_28s(self):
+        selector = HopSelector(0xABCDE01)
+        clk = 0x12345
+        assert selector.page_scan(clk) == selector.page_scan(clk + 1)
+        # bits 16-12 change after 2^12 ticks
+        assert selector.scan_phase(clk) != selector.scan_phase(clk + (1 << 12))
+
+    def test_train_has_16_distinct_frequencies(self):
+        selector = HopSelector(0x5E71AB2)
+        train = selector.train_frequencies(0x4321, KOFFSET_TRAIN_A)
+        assert len(set(train)) == 16
+
+    def test_trains_a_and_b_disjoint_cover_32(self):
+        selector = HopSelector(0x5E71AB2)
+        clke = 0x999
+        a = set(selector.train_frequencies(clke, KOFFSET_TRAIN_A))
+        b = set(selector.train_frequencies(clke, KOFFSET_TRAIN_B))
+        assert len(a | b) == 32
+        assert not (a & b)
+
+    def test_a_train_covers_scan_frequency(self):
+        # the decisive page property: with a good clock estimate, the A
+        # train contains the target's current scan frequency
+        selector = HopSelector(0x0081C31)
+        for clkn in (0x0, 0x5432, 0xFEDC0, 0x1234567):
+            scan_freq = selector.page_scan(clkn)
+            train = selector.train_frequencies(clkn, KOFFSET_TRAIN_A)
+            assert scan_freq in train
+
+    def test_response_pairs_with_phase(self):
+        selector = HopSelector(0x7777777)
+        assert selector.response(5, n=0) == selector.response(5, n=0)
+        assert selector.response(5, n=0) != selector.response(5, n=1) or \
+               selector.response(5, n=0) != selector.response(5, n=2)
+
+    def test_address_dependence(self):
+        a = HopSelector(0x1111111)
+        b = HopSelector(0x2222222)
+        clks = range(0, 400, 4)
+        assert any(a.connection(c) != b.connection(c) for c in clks)
+
+    def test_inquiry_selector_uses_giac(self):
+        from repro.baseband.address import GIAC_LAP
+
+        assert inquiry_selector().address == GIAC_LAP

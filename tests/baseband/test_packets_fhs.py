@@ -1,0 +1,109 @@
+"""Packet catalogue, durations and the FHS payload."""
+
+import pytest
+
+from repro import units
+from repro.baseband.address import BdAddr
+from repro.baseband.fhs import FhsPayload
+from repro.baseband.packets import (
+    Packet,
+    PacketType,
+    packet_air_bits,
+    packet_duration_ns,
+    header_fields,
+    type_from_code,
+)
+from repro.errors import EncodingError
+
+
+class TestDurations:
+    def test_spec_fixed_durations(self):
+        assert packet_duration_ns(PacketType.ID) == 68 * units.US
+        assert packet_duration_ns(PacketType.NULL) == 126 * units.US
+        assert packet_duration_ns(PacketType.POLL) == 126 * units.US
+        assert packet_duration_ns(PacketType.FHS) == 366 * units.US
+
+    def test_max_single_slot_packets_fit(self):
+        for ptype in (PacketType.DM1, PacketType.DH1, PacketType.AUX1):
+            duration = packet_duration_ns(ptype, ptype.info.max_payload)
+            assert duration <= 366 * units.US
+
+    def test_multi_slot_packets_fit_their_slots(self):
+        for ptype, slots in [(PacketType.DM3, 3), (PacketType.DH3, 3),
+                             (PacketType.DM5, 5), (PacketType.DH5, 5)]:
+            duration = packet_duration_ns(ptype, ptype.info.max_payload)
+            assert duration <= slots * units.SLOT_NS
+            assert duration > (slots - 2) * units.SLOT_NS
+
+    def test_dm_air_bits_are_codeword_multiples(self):
+        bits = packet_air_bits(PacketType.DM1, 17) - 72 - 54
+        assert bits % 15 == 0
+
+    def test_payload_length_scales_duration(self):
+        small = packet_duration_ns(PacketType.DH1, 1)
+        large = packet_duration_ns(PacketType.DH1, 27)
+        assert large - small == 26 * 8 * units.BIT_NS
+
+
+class TestPacket:
+    def test_header_bits_layout(self):
+        packet = Packet(ptype=PacketType.DM1, lap=0x123456, am_addr=5,
+                        flow=1, arqn=0, seqn=1, payload=b"x")
+        am, code, flow, arqn, seqn = header_fields(packet.header_bits())
+        assert (am, code, flow, arqn, seqn) == (5, 3, 1, 0, 1)
+
+    def test_type_codes_roundtrip(self):
+        for ptype in PacketType:
+            if ptype is PacketType.ID:
+                continue
+            assert type_from_code(ptype.info.code) is ptype
+
+    def test_unknown_type_code(self):
+        with pytest.raises(ValueError):
+            type_from_code(5)
+
+    def test_payload_limit_enforced(self):
+        with pytest.raises(EncodingError):
+            Packet(ptype=PacketType.DM1, lap=0, payload=bytes(18))
+
+    def test_fhs_requires_payload(self):
+        with pytest.raises(EncodingError):
+            Packet(ptype=PacketType.FHS, lap=0)
+
+    def test_am_addr_range(self):
+        with pytest.raises(EncodingError):
+            Packet(ptype=PacketType.NULL, lap=0, am_addr=8)
+
+    def test_is_data(self):
+        assert PacketType.DM5.is_data
+        assert not PacketType.POLL.is_data
+        assert not PacketType.FHS.is_data
+
+
+class TestFhsPayload:
+    def test_pack_is_144_bits(self):
+        fhs = FhsPayload(addr=BdAddr(lap=1, uap=2, nap=3), clk27_2=42)
+        assert len(fhs.pack()) == 144
+
+    def test_roundtrip_all_fields(self):
+        fhs = FhsPayload(
+            addr=BdAddr(lap=0xABCDEF, uap=0x12, nap=0x3456),
+            clk27_2=0x2345678,
+            am_addr=5,
+            class_of_device=0x11223,
+            parity=0x155555555,
+            sr=2,
+            sp=1,
+            page_scan_mode=3,
+        )
+        assert FhsPayload.unpack(fhs.pack()) == fhs
+
+    def test_clock_ticks_zeroes_low_bits(self):
+        fhs = FhsPayload(addr=BdAddr(lap=1), clk27_2=0b1011)
+        assert fhs.clock_ticks() == 0b101100
+
+    def test_unpack_wrong_length(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            FhsPayload.unpack(np.zeros(100, dtype=np.uint8))

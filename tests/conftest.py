@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.config import SimulationConfig
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def session() -> Session:
+    """A zero-noise session with a fixed seed."""
+    return Session(seed=1234, ber=0.0)
+
+
+def make_session(seed: int = 0, ber: float = 0.0, trace: bool = False,
+                 **link_overrides) -> Session:
+    """Session factory; extra keyword arguments override LinkConfig fields."""
+    import dataclasses
+
+    config = SimulationConfig(seed=seed).with_ber(ber)
+    if link_overrides:
+        config = dataclasses.replace(
+            config, link=dataclasses.replace(config.link, **link_overrides))
+    return Session(config=config, trace=trace)

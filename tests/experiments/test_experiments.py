@@ -1,0 +1,114 @@
+"""Experiment layer: registry plumbing plus scaled-down shape checks.
+
+Full-size reproductions run in benchmarks/; here every experiment executes
+with a tiny trial budget and its *shape* assertions are verified.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import PAPER_BER_GRID, paper_config
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments_registered(self):
+        expected = {"fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+                    "fig11", "fig12", "ext_throughput", "ext_power",
+                    "ext_interference", "ablation_rf_delay",
+                    "ablation_correlator", "ablation_trains"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_paper_grid_spans_1_100_to_1_30(self):
+        values = [x for x, _ in PAPER_BER_GRID]
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(1 / 100)
+        assert values[-1] == pytest.approx(1 / 30)
+
+    def test_paper_config_profiles(self):
+        default = paper_config()
+        assert default.link.sync_threshold == 7
+        paper = paper_config(sync_threshold=0)
+        assert paper.link.sync_threshold == 0
+        assert paper.link.id_sync_threshold == 7  # ID correlator stays
+
+
+class TestFigureShapes:
+    def test_fig05_waveform_checks_pass(self):
+        result = run_experiment("fig05")
+        assert all(row[-1] == "yes" for row in result.rows)
+
+    def test_fig09_sniff_waveform_checks_pass(self):
+        result = run_experiment("fig09")
+        assert all(row[-1] == "yes" for row in result.rows)
+
+    def test_fig10_master_activity_linear(self):
+        result = run_experiment("fig10")
+        tx = [row[1] for row in result.rows]
+        rx = [row[2] for row in result.rows]
+        assert tx == sorted(tx)  # monotone in duty
+        assert all(t > r for t, r in zip(tx, rx))  # TX above RX
+        assert tx[-1] < 1.0  # sub-1% at 2% duty
+        # linearity: last/first ratio tracks the duty ratio (8x)
+        assert tx[-1] / tx[0] == pytest.approx(8.0, rel=0.15)
+
+    def test_fig11_sniff_crossover(self):
+        result = run_experiment("fig11")
+        rows = {row[0]: row for row in result.rows}
+        assert rows[20][3] == "no"     # sniff loses at Tsniff=20
+        assert rows[100][3] == "yes"   # sniff wins at Tsniff=100
+        # no data loss anywhere
+        assert all(row[4].split("/")[0] == row[4].split("/")[1]
+                   for row in result.rows)
+
+    def test_fig12_hold_crossover_near_120(self):
+        result = run_experiment("fig12")
+        rows = {row[0]: row for row in result.rows}
+        assert rows[30][3] == "no"      # hold loses at Thold=30
+        assert rows[480][3] == "yes"    # hold wins at Thold=480
+        assert rows[1000][3] == "yes"
+        # hold activity decreasing in Thold
+        activity = [row[1] for row in result.rows]
+        assert activity == sorted(activity, reverse=True)
+
+    def test_fig06_inquiry_mean_near_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "6")
+        result = run_experiment("fig06")
+        at_zero = result.rows[0][1]
+        assert 600 < at_zero < 3200  # paper: 1556, wide CI at 6 trials
+
+    def test_fig07_page_fast_at_zero_noise_and_dead_at_1_30(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "6")
+        result = run_experiment("fig07")
+        assert result.rows[0][1] < 40  # paper: 17 slots
+        completed_at_1_30 = int(result.rows[-1][3].split("/")[0])
+        assert completed_at_1_30 <= 2  # near-impossible
+
+    def test_fig08_page_failure_rises_with_ber(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "6")
+        result = run_experiment("fig08")
+        page_fail = [row[2] for row in result.rows]
+        assert page_fail[0] <= 35.0
+        assert page_fail[-1] >= 65.0
+
+    def test_ablation_rf_delay_cliff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        result = run_experiment("ablation_rf_delay")
+        healthy = {row[0]: row[1] for row in result.rows}
+        assert healthy["2 us"].startswith("3")
+        assert healthy["80 us"].startswith("0")
+
+    def test_ablation_correlator_regime_change(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "4")
+        result = run_experiment("ablation_correlator")
+        success = {row[0]: int(row[1].split("/")[0]) for row in result.rows}
+        assert success["7"] >= success["0"]
+
+    def test_result_table_renders(self):
+        result = run_experiment("fig10")
+        text = result.to_table()
+        assert "Fig. 10" in text
+        assert "paper:" in text

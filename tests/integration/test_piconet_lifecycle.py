@@ -1,0 +1,172 @@
+"""End-to-end integration: full piconet lifecycles across the stack."""
+
+import pytest
+
+from repro import units
+from repro.baseband.packets import PacketType
+from repro.link.states import ConnectionMode, DeviceState
+from tests.conftest import make_session
+
+
+class TestFullLifecycle:
+    def test_inquiry_page_data_sniff_hold_detach(self):
+        """One device pair living through the whole paper storyline."""
+        session = make_session(seed=100)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+
+        # extended timeout: the 1.28 s default makes ~half of all inquiries
+        # time out by design (see fig08); this test is about the lifecycle
+        inquiry = session.run_inquiry(master, slave, timeout_slots=8192)
+        assert inquiry.success
+
+        page = session.run_page(master, slave, inquiry.discovered[0])
+        assert page.success
+
+        master.enqueue_data(1, b"payload-1", PacketType.DM1)
+        slave.enqueue_data(0, b"uplink-1", PacketType.DM1)
+        session.run_slots(100)
+        assert slave.rx_buffer.total_received == 1
+        assert master.rx_buffer.total_received == 1
+
+        master.lm.request_sniff(1, t_sniff_slots=50, n_attempt_slots=1)
+        session.run_slots(100)
+        assert slave.connection_slave.mode is ConnectionMode.SNIFF
+        master.lm.request_unsniff(1)
+        session.run_slots(200)
+
+        master.lm.request_hold(1, hold_slots=120)
+        session.run_slots(400)
+        assert slave.connection_slave.mode is ConnectionMode.ACTIVE
+
+        master.lm.request_detach(1)
+        session.run_slots(100)
+        assert slave.connection_slave is None
+        assert not master.piconet.slaves
+
+    def test_four_device_piconet_with_concurrent_traffic(self):
+        session = make_session(seed=101)
+        master = session.add_device("master")
+        slaves = [session.add_device(f"s{i}") for i in range(3)]
+        session.build_piconet(master, slaves)
+        for am in (1, 2, 3):
+            for k in range(5):
+                master.enqueue_data(am, bytes([am, k]), PacketType.DM1)
+        session.run_slots(400)
+        for index, slave in enumerate(slaves):
+            items = slave.rx_buffer.drain()
+            assert [i.payload for i in items] == \
+                [bytes([index + 1, k]) for k in range(5)]
+
+    def test_paper_fig5_waveform_properties(self):
+        """The qualitative claims of the paper's Fig. 5, asserted on traces."""
+        session = make_session(seed=102, trace=True)
+        master = session.add_device("master")
+        slave1 = session.add_device("slave1")
+        slave2 = session.add_device("slave2")
+        for slave in (slave1, slave2):
+            slave.start_page_scan()
+        session.run_slots(32)
+        # scanning slaves: receiver always on
+        for slave in (slave1, slave2):
+            traced = session.trace.signals[f"{slave.basename}.rf.enable_rx_rf"]
+            assert traced.value_at(session.sim.now - 1)
+
+        from repro.link.page import PageTarget
+
+        for slave in (slave1, slave2):
+            box = []
+            master.start_page(PageTarget(addr=slave.addr,
+                                         clock_estimate=slave.clock),
+                              on_complete=box.append)
+            while not box:
+                session.run_slots(16)
+            assert box[0].success
+
+        start = session.sim.now
+        session.run_slots(200)
+        # connected slaves: only short windows -> low duty over the window
+        for slave in (slave1, slave2):
+            traced = session.trace.signals[f"{slave.basename}.rf.enable_rx_rf"]
+            high = sum(min(end if end > 0 else session.sim.now, session.sim.now) - max(t0, start)
+                       for t0, end, value in traced.intervals()
+                       if value and (end == -1 or end > start))
+            assert high / (session.sim.now - start) < 0.30
+
+    def test_vcd_export_of_formation(self):
+        session = make_session(seed=103, trace=True)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        assert session.run_page(master, slave).success
+        session.run_slots(50)
+        vcd = session.trace.to_vcd()
+        assert "$enddefinitions" in vcd
+        assert "enable_rx_rf" in vcd
+        assert vcd.count("#") > 20  # plenty of timestamped changes
+
+
+class TestNoiseIntegration:
+    def test_noisy_channel_slows_but_preserves_correctness(self):
+        session = make_session(seed=104, ber=1 / 60, t_poll_slots=1000)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        assert session.run_page(master, slave).success
+        payloads = [bytes([k]) * 17 for k in range(10)]
+        for payload in payloads:
+            master.enqueue_data(1, payload, PacketType.DM1)
+        session.run_slots(3000)
+        assert [i.payload for i in slave.rx_buffer.drain()] == payloads
+        assert master.connection_master.arq[1].tx.retransmissions > 0
+
+    def test_bit_accurate_full_stack(self):
+        """The whole stack runs with real encoded bits on the channel."""
+        import dataclasses
+
+        from repro.api import Session
+        from repro.config import SimulationConfig
+
+        config = dataclasses.replace(SimulationConfig(seed=105), bit_accurate=True)
+        session = Session(config=config)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        assert session.run_page(master, slave).success
+        master.enqueue_data(1, b"bit-accurate!", PacketType.DM1)
+        session.run_slots(60)
+        assert slave.rx_buffer.drain()[0].payload == b"bit-accurate!"
+
+    def test_bit_accurate_with_noise_uses_arq(self):
+        import dataclasses
+
+        from repro.api import Session
+        from repro.config import SimulationConfig
+
+        config = dataclasses.replace(
+            SimulationConfig(seed=106).with_ber(1 / 80), bit_accurate=True)
+        session = Session(config=config)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        assert session.run_page(master, slave).success
+        payloads = [bytes([k]) * 10 for k in range(5)]
+        for payload in payloads:
+            master.enqueue_data(1, payload, PacketType.DM1)
+        session.run_slots(2000)
+        assert [i.payload for i in slave.rx_buffer.drain()] == payloads
+
+    def test_two_piconets_can_collide(self):
+        """Two co-located piconets on the same 79 channels interfere
+        occasionally — the collision counter must see it."""
+        session = make_session(seed=107, t_poll_slots=2)
+        masters = [session.add_device(f"m{i}") for i in range(2)]
+        slaves = [session.add_device(f"s{i}") for i in range(2)]
+        for master, slave in zip(masters, slaves):
+            assert session.run_page(master, slave).success
+        from repro.link.traffic import SaturatedTraffic
+
+        for master in masters:
+            SaturatedTraffic(master, 1, ptype=PacketType.DM1).start()
+        session.run_slots(4000)
+        # 1/79 chance per co-scheduled slot: thousands of slots -> collisions
+        assert session.channel.collisions > 0
+        # both piconets still deliver data despite the interference
+        for slave in slaves:
+            assert slave.rx_buffer.total_received > 100

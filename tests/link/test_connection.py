@@ -1,0 +1,194 @@
+"""Connection state: polling, data transfer, ARQ and low-power modes."""
+
+import pytest
+
+from repro import units
+from repro.baseband.packets import PacketType
+from repro.link.piconet import HoldParams, ParkParams, SniffParams
+from repro.link.states import ConnectionMode
+from repro.link.traffic import PeriodicTraffic, SaturatedTraffic
+from tests.conftest import make_session
+
+
+def connected_pair(seed=40, ber=0.0, **cfg):
+    session = make_session(seed=seed, ber=ber, **cfg)
+    master = session.add_device("master")
+    slave = session.add_device("slave")
+    result = session.run_page(master, slave)
+    assert result.success
+    return session, master, slave
+
+
+class TestDataTransfer:
+    def test_payload_delivered(self):
+        session, master, slave = connected_pair()
+        master.enqueue_data(1, b"hello bluetooth", PacketType.DM1)
+        session.run_slots(40)
+        items = slave.rx_buffer.drain()
+        assert [i.payload for i in items] == [b"hello bluetooth"]
+
+    def test_many_payloads_in_order(self):
+        session, master, slave = connected_pair(seed=41)
+        payloads = [bytes([i]) * 10 for i in range(12)]
+        for payload in payloads:
+            master.enqueue_data(1, payload, PacketType.DM1)
+        session.run_slots(200)
+        received = [i.payload for i in slave.rx_buffer.drain()]
+        assert received == payloads
+
+    def test_slave_to_master_data(self):
+        session, master, slave = connected_pair(seed=42)
+        slave.enqueue_data(0, b"uplink", PacketType.DM1)
+        session.run_slots(60)
+        items = master.rx_buffer.drain()
+        assert [i.payload for i in items] == [b"uplink"]
+
+    def test_multi_slot_packets(self):
+        session, master, slave = connected_pair(seed=43)
+        big = bytes(range(200)) + bytes(24)
+        master.enqueue_data(1, big, PacketType.DM5)
+        session.run_slots(60)
+        assert slave.rx_buffer.drain()[0].payload == big
+
+    def test_saturated_throughput_near_nominal(self):
+        session, master, slave = connected_pair(seed=44, t_poll_slots=1000)
+        SaturatedTraffic(master, 1, ptype=PacketType.DM1).start()
+        session.run_slots(100)
+        slave.rx_buffer.drain()
+        start_bytes = slave.rx_buffer.total_bytes
+        start_ns = session.sim.now
+        session.run_slots(1000)
+        rate_kbps = ((slave.rx_buffer.total_bytes - start_bytes) * 8
+                     / ((session.sim.now - start_ns) / units.SEC) / 1000)
+        assert rate_kbps == pytest.approx(108.8, rel=0.05)
+
+    def test_arq_recovers_under_noise(self):
+        session, master, slave = connected_pair(seed=45, ber=0.01,
+                                                t_poll_slots=1000)
+        payloads = [bytes([i]) * 17 for i in range(20)]
+        for payload in payloads:
+            master.enqueue_data(1, payload, PacketType.DM1)
+        session.run_slots(2000)
+        received = [i.payload for i in slave.rx_buffer.drain()]
+        assert received == payloads  # no loss, no duplication, in order
+
+    def test_keepalive_polling_when_idle(self):
+        session, master, slave = connected_pair(seed=46)
+        before = master.connection_master.stats_tx_packets
+        session.run_slots(120)
+        # t_poll default 6 slots -> at least ~20 keep-alive polls
+        assert master.connection_master.stats_tx_packets - before >= 15
+
+
+class TestSniffMode:
+    def test_direct_sniff_reduces_rx_windows(self):
+        session, master, slave = connected_pair(seed=47, t_poll_slots=2000)
+        from repro.power.rf_activity import RfActivityProbe
+
+        probe = RfActivityProbe(slave)
+        session.run_slots(1000)
+        active_windows = probe.sample().rx_windows
+        params = SniffParams(t_sniff_slots=40, n_attempt_slots=1)
+        master.connection_master.set_sniff(1, params)
+        slave.connection_slave.enter_sniff(params)
+        probe.reset()
+        session.run_slots(1000)
+        sniff_windows = probe.sample().rx_windows
+        assert sniff_windows < active_windows / 4
+
+    def test_sniffed_slave_still_gets_data(self):
+        session, master, slave = connected_pair(seed=48, t_poll_slots=2000)
+        params = SniffParams(t_sniff_slots=40, n_attempt_slots=1)
+        master.connection_master.set_sniff(1, params)
+        slave.connection_slave.enter_sniff(params)
+        traffic = PeriodicTraffic(master, 1, period_slots=100,
+                                  ptype=PacketType.DM1, payload_len=17)
+        traffic.start()
+        session.run_slots(1200)
+        assert slave.rx_buffer.total_received >= 10
+
+    def test_exit_sniff(self):
+        session, master, slave = connected_pair(seed=49)
+        params = SniffParams(t_sniff_slots=40, n_attempt_slots=1)
+        master.connection_master.set_sniff(1, params)
+        slave.connection_slave.enter_sniff(params)
+        session.run_slots(100)
+        master.connection_master.exit_sniff(1)
+        slave.connection_slave.exit_sniff()
+        assert slave.connection_slave.mode is ConnectionMode.ACTIVE
+        master.enqueue_data(1, b"after sniff", PacketType.DM1)
+        session.run_slots(40)
+        assert slave.rx_buffer.total_received == 1
+
+
+class TestHoldMode:
+    def test_radio_silent_during_hold(self):
+        session, master, slave = connected_pair(seed=50)
+        from repro.power.rf_activity import RfActivityProbe
+
+        master.connection_master.set_hold(1, HoldParams(hold_slots=400))
+        slave.connection_slave.enter_hold(HoldParams(hold_slots=400))
+        session.run_slots(20)
+        probe = RfActivityProbe(slave)
+        session.run_slots(300)  # strictly inside the hold
+        sample = probe.sample()
+        assert sample.rx_activity == 0.0
+        assert sample.tx_activity == 0.0
+
+    def test_resynchronises_after_hold(self):
+        session, master, slave = connected_pair(seed=51)
+        master.connection_master.set_hold(1, HoldParams(hold_slots=200))
+        slave.connection_slave.enter_hold(HoldParams(hold_slots=200))
+        session.run_slots(260)
+        assert slave.connection_slave.mode is ConnectionMode.ACTIVE
+        master.enqueue_data(1, b"post hold", PacketType.DM1)
+        session.run_slots(40)
+        assert slave.rx_buffer.total_received == 1
+
+
+class TestParkMode:
+    def test_parked_slave_frees_am_addr(self):
+        session, master, slave = connected_pair(seed=52)
+        master.connection_master.park(1, ParkParams(beacon_interval_slots=64, pm_addr=2))
+        slave.connection_slave.enter_park(ParkParams(beacon_interval_slots=64, pm_addr=2))
+        assert not master.piconet.slaves
+        assert 2 in master.piconet.parked
+
+    def test_parked_slave_wakes_at_beacons_only(self):
+        session, master, slave = connected_pair(seed=53, t_poll_slots=2000)
+        from repro.power.rf_activity import RfActivityProbe
+
+        master.connection_master.park(1, ParkParams(beacon_interval_slots=64, pm_addr=2))
+        slave.connection_slave.enter_park(ParkParams(beacon_interval_slots=64, pm_addr=2))
+        probe = RfActivityProbe(slave)
+        session.run_slots(1280)
+        windows = probe.sample().rx_windows
+        # one window per beacon interval (64 slots -> 32 pairs)
+        expected = 1280 / 64
+        assert windows <= 2.5 * expected
+
+    def test_unpark_restores_link(self):
+        session, master, slave = connected_pair(seed=54)
+        master.connection_master.park(1, ParkParams(beacon_interval_slots=64, pm_addr=2))
+        slave.connection_slave.enter_park(ParkParams(beacon_interval_slots=64, pm_addr=2))
+        session.run_slots(100)
+        new_am = master.connection_master.unpark(2)
+        slave.connection_slave.unpark(new_am)
+        session.run_slots(20)
+        master.enqueue_data(new_am, b"welcome back", PacketType.DM1)
+        session.run_slots(60)
+        assert slave.rx_buffer.total_received == 1
+
+
+class TestDetach:
+    def test_master_detach_removes_slave(self):
+        session, master, slave = connected_pair(seed=55)
+        master.connection_master.detach(1)
+        assert not master.piconet.slaves
+
+    def test_device_detach_resets_everything(self):
+        session, master, slave = connected_pair(seed=56)
+        slave.detach()
+        master.detach()
+        assert master.piconet is None
+        assert slave.connection_slave is None

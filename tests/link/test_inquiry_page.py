@@ -1,0 +1,149 @@
+"""Inquiry and page procedures — functional behaviour."""
+
+import pytest
+
+from repro import units
+from repro.api import Session
+from repro.errors import ProtocolError
+from repro.link.page import PageTarget
+from repro.link.states import DeviceState
+from tests.conftest import make_session
+
+
+class TestInquiry:
+    def test_discovery_learns_address_and_clock(self):
+        session = make_session(seed=21)
+        inquirer = session.add_device("inquirer")
+        scanner = session.add_device("scanner")
+        result = session.run_inquiry(inquirer, scanner)
+        assert result.success
+        found = result.discovered[0]
+        assert found.addr == scanner.addr
+        # clock estimate within the FHS 4-tick quantisation + latency
+        estimate = found.clock_estimate.ticks(session.sim.now)
+        actual = scanner.clock.ticks(session.sim.now)
+        assert abs(estimate - actual) <= 8
+
+    def test_inquiry_timeout_returns_failure(self):
+        session = make_session(seed=22)
+        inquirer = session.add_device("inquirer")
+        # nobody scanning: must time out
+        result = session.run_inquiry(inquirer, scanner=None, timeout_slots=256)
+        assert not result.success
+        assert result.duration_slots == pytest.approx(256, abs=3)
+        assert inquirer.state is DeviceState.STANDBY
+
+    def test_inquirer_transmits_two_ids_per_even_slot(self):
+        session = make_session(seed=23)
+        inquirer = session.add_device("inquirer")
+        procedure = inquirer.start_inquiry(timeout_slots=64)
+        session.run_slots(62)
+        # ~2 IDs per slot pair over ~31 pairs (rx slots interleaved)
+        assert procedure.id_transmissions >= 40
+
+    def test_scanner_backoff_turns_receiver_off(self):
+        session = make_session(seed=24)
+        inquirer = session.add_device("inquirer")
+        scanner = session.add_device("scanner")
+        scan = scanner.start_inquiry_scan()
+        inquirer.start_inquiry(timeout_slots=8192, num_responses=10)
+        # run until the scanner enters backoff (sample every slot: the
+        # random backoff may be as short as zero slots)
+        seen_backoff = False
+        for _ in range(6000):
+            session.run_slots(1)
+            if scan.state == scan.BACKOFF:
+                seen_backoff = True
+                assert not scanner.rf.rx_open
+                break
+        assert seen_backoff
+
+    def test_cannot_start_inquiry_twice(self):
+        session = make_session(seed=25)
+        device = session.add_device("d")
+        device.start_inquiry()
+        with pytest.raises(ProtocolError):
+            device.start_inquiry()
+
+
+class TestPage:
+    def test_page_with_perfect_estimate(self):
+        session = make_session(seed=31)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        result = session.run_page(master, slave)
+        assert result.success
+        assert result.duration_slots < 40
+        assert result.am_addr == 1
+
+    def test_paper_value_17_slots(self):
+        durations = []
+        for seed in range(10):
+            session = make_session(seed=500 + seed)
+            master = session.add_device("m")
+            slave = session.add_device("s")
+            result = session.run_page(master, slave)
+            assert result.success
+            durations.append(result.duration_slots)
+        mean = sum(durations) / len(durations)
+        assert 5 <= mean <= 30  # paper: 17 slots
+
+    def test_both_sides_reach_connection(self):
+        session = make_session(seed=32)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        session.run_page(master, slave)
+        assert master.state is DeviceState.CONNECTION
+        assert slave.state is DeviceState.CONNECTION
+        assert master.piconet is not None
+        assert 1 in master.piconet.slaves
+        assert slave.connection_slave is not None
+        assert slave.connection_slave.am_addr == 1
+
+    def test_slave_piconet_clock_tracks_master(self):
+        session = make_session(seed=33)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        session.run_page(master, slave)
+        piconet_clock = slave.connection_slave.clock
+        for offset_slots in (0, 11, 400):
+            t = session.sim.now + offset_slots * units.SLOT_NS
+            assert piconet_clock.clk(t) == master.clock.clk(t)
+
+    def test_page_unknown_target_times_out(self):
+        session = make_session(seed=34)
+        master = session.add_device("master")
+        ghost_clock = session.add_device("ghost").clock  # device never scans
+        from repro.baseband.address import BdAddr
+
+        target = PageTarget(addr=BdAddr(lap=0x3333, uap=1), clock_estimate=ghost_clock)
+        box = []
+        master.start_page(target, timeout_slots=128, on_complete=box.append)
+        session.run_slots(256)
+        assert box and not box[0].success
+
+    def test_page_after_inquiry_estimate(self):
+        session = make_session(seed=35)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        inquiry = session.run_inquiry(master, slave)
+        assert inquiry.success
+        result = session.run_page(master, slave, inquiry.discovered[0])
+        assert result.success
+
+    def test_sequential_pages_build_piconet(self):
+        session = make_session(seed=36)
+        master = session.add_device("master")
+        slaves = [session.add_device(f"s{i}") for i in range(3)]
+        handle = session.build_piconet(master, slaves)
+        assert sorted(master.piconet.slaves) == [1, 2, 3]
+        assert handle.am_addr_of(slaves[2]) == 3
+
+    def test_slave_cannot_page(self):
+        session = make_session(seed=37)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        session.run_page(master, slave)
+        with pytest.raises(ProtocolError):
+            slave.start_page(PageTarget(addr=master.addr,
+                                        clock_estimate=master.clock))

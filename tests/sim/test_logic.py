@@ -1,0 +1,77 @@
+"""Four-valued logic: the paper's channel-resolver truth table."""
+
+import pytest
+
+from repro.sim.logic import Logic, resolve, resolve2
+
+
+class TestLogicValues:
+    def test_bool_conversion(self):
+        assert bool(Logic.ONE) is True
+        assert bool(Logic.ZERO) is False
+        assert bool(Logic.Z) is False
+        assert bool(Logic.X) is False
+
+    def test_from_bool(self):
+        assert Logic.from_bool(True) is Logic.ONE
+        assert Logic.from_bool(False) is Logic.ZERO
+
+    def test_from_char_roundtrip(self):
+        for value in Logic:
+            assert Logic.from_char(str(value)) is value
+
+    def test_from_char_uppercase(self):
+        assert Logic.from_char("Z") is Logic.Z
+        assert Logic.from_char("X") is Logic.X
+
+    def test_from_char_invalid(self):
+        with pytest.raises(ValueError):
+            Logic.from_char("q")
+
+    def test_is_driven(self):
+        assert Logic.ZERO.is_driven
+        assert Logic.ONE.is_driven
+        assert not Logic.Z.is_driven
+        assert not Logic.X.is_driven
+
+
+class TestResolution:
+    def test_z_yields_to_anything(self):
+        for value in Logic:
+            assert resolve2(Logic.Z, value) is value
+            assert resolve2(value, Logic.Z) is value
+
+    def test_equal_driven_values_agree(self):
+        assert resolve2(Logic.ONE, Logic.ONE) is Logic.ONE
+        assert resolve2(Logic.ZERO, Logic.ZERO) is Logic.ZERO
+
+    def test_conflict_is_x(self):
+        assert resolve2(Logic.ZERO, Logic.ONE) is Logic.X
+        assert resolve2(Logic.ONE, Logic.ZERO) is Logic.X
+
+    def test_x_absorbs(self):
+        for value in Logic:
+            assert resolve2(Logic.X, value) is Logic.X
+            assert resolve2(value, Logic.X) is Logic.X
+
+    def test_empty_wire_floats(self):
+        assert resolve([]) is Logic.Z
+
+    def test_single_driver(self):
+        assert resolve([Logic.ONE]) is Logic.ONE
+
+    def test_paper_collision_semantics(self):
+        # "when more than one device is transmitting the channel resolver
+        # forces the signal to an undefined value X"
+        assert resolve([Logic.ONE, Logic.ZERO, Logic.Z]) is Logic.X
+
+    def test_many_z_one_driver(self):
+        assert resolve([Logic.Z, Logic.Z, Logic.ZERO, Logic.Z]) is Logic.ZERO
+
+    def test_resolution_is_commutative_and_associative(self):
+        values = [Logic.ZERO, Logic.ONE, Logic.Z, Logic.X]
+        for a in values:
+            for b in values:
+                assert resolve2(a, b) is resolve2(b, a)
+                for c in values:
+                    assert resolve2(resolve2(a, b), c) is resolve2(a, resolve2(b, c))

@@ -1,0 +1,82 @@
+"""Activity monitors and named random streams."""
+
+from repro.sim.monitor import ActivityMonitor, EdgeCounter
+from repro.sim.rng import RandomStreams
+from repro.sim.signal import Signal
+
+
+class TestActivityMonitor:
+    def test_integrates_on_time(self, sim):
+        sig = Signal(sim, "s", False)
+        monitor = ActivityMonitor(sim, sig)
+        sim.schedule(100, lambda: sig.write(True))
+        sim.schedule(300, lambda: sig.write(False))
+        sim.run(until_ns=1000)
+        assert monitor.on_time_ns() == 200
+        assert monitor.duty() == 200 / 1000
+
+    def test_counts_open_interval(self, sim):
+        sig = Signal(sim, "s", False)
+        monitor = ActivityMonitor(sim, sig)
+        sim.schedule(600, lambda: sig.write(True))
+        sim.run(until_ns=1000)
+        assert monitor.on_time_ns() == 400
+
+    def test_initially_high_signal(self, sim):
+        sig = Signal(sim, "s", True)
+        monitor = ActivityMonitor(sim, sig)
+        sim.run(until_ns=500)
+        assert monitor.on_time_ns() == 500
+
+    def test_reset(self, sim):
+        sig = Signal(sim, "s", True)
+        monitor = ActivityMonitor(sim, sig)
+        sim.run(until_ns=400)
+        monitor.reset()
+        sim.run(until_ns=1000)
+        assert monitor.observed_ns() == 600
+        assert monitor.on_time_ns() == 600
+
+    def test_duty_with_no_observation(self, sim):
+        sig = Signal(sim, "s", False)
+        monitor = ActivityMonitor(sim, sig)
+        assert monitor.duty() == 0.0
+
+
+class TestEdgeCounter:
+    def test_counts_edges(self, sim):
+        sig = Signal(sim, "s", False)
+        counter = EdgeCounter(sig)
+        for t in (10, 30, 50):
+            sim.schedule(t, lambda: sig.write(True))
+            sim.schedule(t + 10, lambda: sig.write(False))
+        sim.run()
+        assert counter.rising == 3
+        assert counter.falling == 3
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        rngs = RandomStreams(42)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_determinism_across_instances(self):
+        a = RandomStreams(42).stream("noise").integers(0, 1000, 10)
+        b = RandomStreams(42).stream("noise").integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+    def test_different_names_independent(self):
+        rngs = RandomStreams(42)
+        a = rngs.stream("a").integers(0, 1 << 30, 5)
+        b = rngs.stream("b").integers(0, 1 << 30, 5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").integers(0, 1 << 30, 5)
+        b = RandomStreams(2).stream("x").integers(0, 1 << 30, 5)
+        assert list(a) != list(b)
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(7).spawn("trial3").stream("s").integers(0, 100, 4)
+        b = RandomStreams(7).spawn("trial3").stream("s").integers(0, 100, 4)
+        assert list(a) == list(b)

@@ -1,0 +1,108 @@
+"""Generator processes: Delay and WaitSignal wait statements."""
+
+import pytest
+
+from repro import units
+from repro.errors import ProcessError
+from repro.sim.process import Delay, Process, WaitSignal
+from repro.sim.signal import Signal
+
+
+class TestDelay:
+    def test_process_advances_through_delays(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Delay(100)
+            trace.append(sim.now)
+            yield Delay(50)
+            trace.append(sim.now)
+
+        Process(sim, "p", proc())
+        sim.run()
+        assert trace == [0, 100, 150]
+
+    def test_process_terminates(self, sim):
+        def proc():
+            yield Delay(1)
+
+        process = Process(sim, "p", proc())
+        sim.run()
+        assert process.alive is False
+
+    def test_start_offset(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Delay(1)
+
+        Process(sim, "p", proc(), start_ns=500)
+        sim.run()
+        assert trace == [500]
+
+    def test_two_processes_interleave(self, sim):
+        trace = []
+
+        def proc(tag, period):
+            for _ in range(3):
+                yield Delay(period)
+                trace.append((tag, sim.now))
+
+        Process(sim, "a", proc("a", 100))
+        Process(sim, "b", proc("b", 70))
+        sim.run()
+        assert trace == [("b", 70), ("a", 100), ("b", 140), ("a", 200),
+                         ("b", 210), ("a", 300)]
+
+
+class TestWaitSignal:
+    def test_wakes_on_change(self, sim):
+        sig = Signal(sim, "s", 0)
+        trace = []
+
+        def proc():
+            yield WaitSignal(sig)
+            trace.append((sim.now, sig.read()))
+
+        Process(sim, "p", proc())
+        sim.schedule(40, lambda: sig.write(3))
+        sim.run()
+        assert trace == [(40, 3)]
+
+    def test_wakes_only_on_wanted_value(self, sim):
+        sig = Signal(sim, "s", False)
+        trace = []
+
+        def proc():
+            yield WaitSignal(sig, value=True)
+            trace.append(sim.now)
+
+        Process(sim, "p", proc())
+        sim.schedule(10, lambda: sig.write(False))
+        sim.schedule(20, lambda: sig.write(True))
+        sim.run()
+        assert trace == [20]
+
+    def test_kill_stops_process(self, sim):
+        trace = []
+
+        def proc():
+            while True:
+                yield Delay(10)
+                trace.append(sim.now)
+
+        process = Process(sim, "p", proc())
+        sim.schedule(35, process.kill)
+        sim.run(until_ns=100)
+        assert trace == [10, 20, 30]
+        assert process.alive is False
+
+    def test_bad_yield_raises(self, sim):
+        def proc():
+            yield 42
+
+        Process(sim, "p", proc())
+        with pytest.raises(ProcessError):
+            sim.run()

@@ -1,0 +1,78 @@
+"""Signal semantics: delta-delayed commits, subscriptions."""
+
+from repro.sim.signal import Signal
+
+
+class TestSignalCommit:
+    def test_write_is_delta_delayed(self, sim):
+        sig = Signal(sim, "s", 0)
+        observed = []
+
+        def writer():
+            sig.write(7)
+            observed.append(("inside", sig.read()))
+
+        sim.schedule(10, writer)
+        sim.schedule(10, lambda: observed.append(("peer", sig.read())))
+        sim.run()
+        # both same-time readers saw the old value; commit came one delta later
+        assert observed == [("inside", 0), ("peer", 0)]
+        assert sig.read() == 7
+
+    def test_last_write_wins_within_delta(self, sim):
+        sig = Signal(sim, "s", 0)
+        sim.schedule(1, lambda: (sig.write(1), sig.write(2)))
+        sim.run()
+        assert sig.read() == 2
+
+    def test_write_now_commits_immediately(self, sim):
+        sig = Signal(sim, "s", 0)
+        sig.write_now(5)
+        assert sig.read() == 5
+
+    def test_value_alias(self, sim):
+        sig = Signal(sim, "s", 3)
+        assert sig.value == sig.read() == 3
+
+
+class TestSubscription:
+    def test_subscriber_sees_old_and_new(self, sim):
+        sig = Signal(sim, "s", 0)
+        calls = []
+        sig.subscribe(lambda old, new: calls.append((old, new)))
+        sim.schedule(1, lambda: sig.write(9))
+        sim.run()
+        assert calls == [(0, 9)]
+
+    def test_no_notification_for_equal_value(self, sim):
+        sig = Signal(sim, "s", 4)
+        calls = []
+        sig.subscribe(lambda old, new: calls.append((old, new)))
+        sim.schedule(1, lambda: sig.write(4))
+        sim.run()
+        assert calls == []
+
+    def test_unsubscribe(self, sim):
+        sig = Signal(sim, "s", 0)
+        calls = []
+        callback = lambda old, new: calls.append(new)
+        sig.subscribe(callback)
+        sig.unsubscribe(callback)
+        sim.schedule(1, lambda: sig.write(1))
+        sim.run()
+        assert calls == []
+
+    def test_last_change_time(self, sim):
+        sig = Signal(sim, "s", 0)
+        sim.schedule(250, lambda: sig.write(1))
+        sim.run()
+        assert sig.last_change_ns == 250
+
+    def test_multiple_subscribers_all_called(self, sim):
+        sig = Signal(sim, "s", 0)
+        calls = []
+        sig.subscribe(lambda o, n: calls.append("a"))
+        sig.subscribe(lambda o, n: calls.append("b"))
+        sim.schedule(1, lambda: sig.write(1))
+        sim.run()
+        assert calls == ["a", "b"]

@@ -1,0 +1,107 @@
+"""Waveform tracing and VCD export."""
+
+import io
+
+from repro.sim.signal import Signal
+from repro.sim.trace import TraceRecorder
+from repro.sim.vcd import VcdWriter
+
+
+class TestTraceRecorder:
+    def test_records_changes(self, sim):
+        sig = Signal(sim, "top.s", False)
+        recorder = TraceRecorder(sim)
+        traced = recorder.watch(sig)
+        sim.schedule(100, lambda: sig.write(True))
+        sim.schedule(200, lambda: sig.write(False))
+        sim.run()
+        assert traced.times == [0, 100, 200]
+        assert traced.values == [False, True, False]
+
+    def test_value_at(self, sim):
+        sig = Signal(sim, "top.s", 0)
+        recorder = TraceRecorder(sim)
+        traced = recorder.watch(sig)
+        sim.schedule(100, lambda: sig.write(5))
+        sim.run()
+        assert traced.value_at(50) == 0
+        assert traced.value_at(100) == 5
+        assert traced.value_at(500) == 5
+
+    def test_intervals(self, sim):
+        sig = Signal(sim, "top.s", "a")
+        recorder = TraceRecorder(sim)
+        traced = recorder.watch(sig)
+        sim.schedule(10, lambda: sig.write("b"))
+        sim.run()
+        assert traced.intervals() == [(0, 10, "a"), (10, -1, "b")]
+
+    def test_watch_same_signal_twice(self, sim):
+        sig = Signal(sim, "top.s", 0)
+        recorder = TraceRecorder(sim)
+        assert recorder.watch(sig) is recorder.watch(sig)
+
+    def test_ascii_timeline_shows_pulses(self, sim):
+        sig = Signal(sim, "dev.rx", False)
+        recorder = TraceRecorder(sim)
+        recorder.watch(sig)
+        sim.schedule(400, lambda: sig.write(True))
+        sim.schedule(600, lambda: sig.write(False))
+        sim.run(until_ns=1000)
+        art = recorder.ascii_timeline(columns=10, end_ns=1000)
+        row = art.splitlines()[1]
+        assert "▔" in row and "▁" in row
+        # high region is in the middle of the window
+        assert row.index("▔") > row.index("▁")
+
+    def test_to_vcd_contains_declarations_and_changes(self, sim):
+        sig = Signal(sim, "dev.rx", False)
+        recorder = TraceRecorder(sim)
+        recorder.watch(sig)
+        sim.schedule(100, lambda: sig.write(True))
+        sim.run()
+        text = recorder.to_vcd()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "#100" in text
+
+
+class TestVcdWriter:
+    def test_basic_dump(self):
+        buffer = io.StringIO()
+        writer = VcdWriter(buffer)
+        wire = writer.add_wire("top", "sig")
+        writer.change(wire, 0, False)
+        writer.change(wire, 50, True)
+        writer.close(end_time_ns=100)
+        text = buffer.getvalue()
+        assert "$scope module top $end" in text
+        assert "#0" in text and "#50" in text and "#100" in text
+
+    def test_duplicate_value_suppressed(self):
+        buffer = io.StringIO()
+        writer = VcdWriter(buffer)
+        wire = writer.add_wire("", "sig")
+        writer.change(wire, 0, True)
+        writer.change(wire, 10, True)
+        writer.close()
+        assert "#10" not in buffer.getvalue()
+
+    def test_integer_variable(self):
+        buffer = io.StringIO()
+        writer = VcdWriter(buffer)
+        var = writer.add_integer("top", "bus", width=8)
+        writer.change(var, 0, 5)
+        writer.close()
+        assert "b101" in buffer.getvalue()
+
+    def test_non_monotonic_time_rejected(self):
+        import pytest
+
+        from repro.errors import TracingError
+
+        writer = VcdWriter(io.StringIO())
+        wire = writer.add_wire("", "s")
+        writer.change(wire, 100, True)
+        with pytest.raises(TracingError):
+            writer.change(wire, 50, False)

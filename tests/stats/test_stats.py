@@ -1,0 +1,110 @@
+"""Estimators, Monte Carlo harness, sweeps and tables."""
+
+import math
+
+import pytest
+
+from repro.stats.estimators import mean_with_ci, wilson_interval
+from repro.stats.montecarlo import MonteCarlo, TrialOutcome, default_trials
+from repro.stats.sweep import Sweep
+from repro.stats.tables import format_table
+
+
+class TestEstimators:
+    def test_mean_simple(self):
+        estimate = mean_with_ci([1.0, 2.0, 3.0])
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.n == 3
+        assert estimate.lo < 2.0 < estimate.hi
+
+    def test_mean_empty(self):
+        assert math.isnan(mean_with_ci([]).mean)
+
+    def test_mean_single_value_infinite_ci(self):
+        assert mean_with_ci([5.0]).ci_halfwidth == float("inf")
+
+    def test_ci_shrinks_with_n(self):
+        wide = mean_with_ci([0.0, 10.0] * 3)
+        narrow = mean_with_ci([0.0, 10.0] * 50)
+        assert narrow.ci_halfwidth < wide.ci_halfwidth
+
+    def test_wilson_basic(self):
+        estimate = wilson_interval(8, 10)
+        assert estimate.p == pytest.approx(0.8)
+        assert 0 < estimate.lo < 0.8 < estimate.hi < 1.0
+
+    def test_wilson_extremes_stay_in_bounds(self):
+        assert wilson_interval(0, 20).lo == 0.0
+        assert wilson_interval(20, 20).hi == 1.0
+        assert wilson_interval(0, 20).hi > 0.0  # not degenerate
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestMonteCarlo:
+    def trial(self, seed):
+        return TrialOutcome(seed=seed, success=seed % 2 == 0, value=float(seed % 10))
+
+    def test_runs_all_trials_with_derived_seeds(self):
+        mc = MonteCarlo(master_seed=3, trials=10)
+        outcomes = mc.run(self.trial)
+        assert len(outcomes) == 10
+        assert outcomes[0].seed == 30_000
+        assert outcomes[9].seed == 30_009
+
+    def test_aggregation(self):
+        mc = MonteCarlo(master_seed=0, trials=10)
+        mc.run(self.trial)
+        assert mc.successes == 5
+        assert mc.failure_rate == pytest.approx(0.5)
+        assert len(mc.successful_values()) == 5
+
+    def test_progress_callback(self):
+        seen = []
+        mc = MonteCarlo(master_seed=0, trials=3)
+        mc.run(self.trial, progress=lambda i, o: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_default_trials_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "5")
+        assert default_trials(100) == 5
+        monkeypatch.delenv("REPRO_TRIALS")
+        assert default_trials(100) == 100
+
+
+class TestSweep:
+    def test_per_point_batches(self):
+        def trial(x, seed):
+            return TrialOutcome(seed=seed, success=x < 2, value=x * 10)
+
+        sweep = Sweep(master_seed=1, trials_per_point=4)
+        points = sweep.run([(1, "one"), (3, "three")], trial)
+        assert points[0].success.p == 1.0
+        assert points[0].mean.mean == pytest.approx(10)
+        assert points[1].success.p == 0.0
+        assert points[1].failure_rate == 1.0
+
+    def test_labels_kept(self):
+        sweep = Sweep(master_seed=1, trials_per_point=1)
+        points = sweep.run([(0.5, "1/2")],
+                           lambda x, s: TrialOutcome(s, True, x))
+        assert points[0].label == "1/2"
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["x", 22.5]])
+        lines = text.splitlines()
+        assert len({line.index("  ") for line in lines[1:]}) >= 1
+        assert "long-name" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+        assert text.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234567.0]])
+        assert "1234567" in text

@@ -1,0 +1,28 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "ext_interference" in out
+
+    def test_run_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        assert main(["run", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 10" in out
+        assert "duty cycle" in out
+
+    def test_run_with_trials_and_seed(self, capsys):
+        assert main(["run", "ablation_correlator",
+                     "--trials", "2", "--seed", "9"]) == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
