@@ -5,16 +5,32 @@ prints the same rows the paper plots, and archives them under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
 
 Trial counts follow the experiments' defaults; set the ``REPRO_TRIALS``
-environment variable to scale them up or down.
+environment variable to scale them up or down.  Set ``REPRO_JOBS`` (or
+pass ``jobs=`` to an experiment's ``run``) to fan Monte Carlo trials out
+over worker processes — archived tables are bit-identical at any job
+count, so parallel bench runs stay comparable with sequential ones.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.stats.executor import JOBS_ENV_VAR, default_jobs
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def announce_jobs(capsys):
+    """Surface the active REPRO_JOBS setting in bench output, so archived
+    timings are attributable to a worker count."""
+    if os.environ.get(JOBS_ENV_VAR):
+        with capsys.disabled():
+            print(f"\n[{JOBS_ENV_VAR}={default_jobs()} worker(s)]")
+    yield
 
 
 @pytest.fixture

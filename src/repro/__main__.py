@@ -3,8 +3,12 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig07 [--trials 30] [--seed 5]
+    python -m repro run fig07 [--trials 30] [--seed 5] [--jobs 4]
     python -m repro run all
+
+``--jobs`` (or the ``REPRO_JOBS`` environment variable) fans Monte Carlo
+trials out over worker processes; results are identical at any job count
+because every trial is a pure function of its derived seed.
 """
 
 from __future__ import annotations
@@ -29,6 +33,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Monte Carlo trials per point")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="master seed")
+    run_parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for Monte Carlo trials "
+                                 "(0 = one per CPU; default sequential). "
+                                 "The REPRO_JOBS environment variable, when "
+                                 "set, overrides this flag — mirroring "
+                                 "REPRO_TRIALS vs --trials")
     return parser
 
 
@@ -49,6 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["trials"] = args.trials
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
     for target in targets:
         started = time.time()
         try:

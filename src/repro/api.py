@@ -118,6 +118,27 @@ class Session:
     # Synchronous procedure wrappers
     # ------------------------------------------------------------------
 
+    def _run_to_completion(self, box: list, deadline_ns: int) -> None:
+        """Advance the simulation until ``box`` is filled or the deadline.
+
+        The completion callback stops the simulator, so time halts at the
+        callback's actual event rather than on a polling grid (an earlier
+        implementation polled every 64 slots and overshot completion by up
+        to 64 slots).  One ``run`` suffices: it returns either stopped by
+        the callback or with time at the deadline.
+        """
+        if not box:
+            self.sim.run(until_ns=deadline_ns)
+
+    def _completion(self, box: list):
+        """A completion callback that records the result and halts time."""
+
+        def on_complete(result) -> None:
+            box.append(result)
+            self.sim.stop()
+
+        return on_complete
+
     def run_inquiry(self, inquirer: BluetoothDevice,
                     scanner: Optional[BluetoothDevice] = None,
                     timeout_slots: Optional[int] = None,
@@ -130,11 +151,10 @@ class Session:
             scan_proc = scanner.start_inquiry_scan()
         inquirer.start_inquiry(timeout_slots=timeout_slots,
                                num_responses=num_responses,
-                               on_complete=box.append)
+                               on_complete=self._completion(box))
         guard_slots = (timeout_slots or self.config.link.inquiry_timeout_slots) + 64
         deadline = self.sim.now + guard_slots * units.SLOT_NS
-        while not box and self.sim.now < deadline:
-            self.sim.run(until_ns=self.sim.now + 64 * units.SLOT_NS)
+        self._run_to_completion(box, deadline)
         if scan_proc is not None and scanner is not None:
             scanner.stop_procedure()
         if not box:
@@ -155,11 +175,10 @@ class Session:
         box: list[PageResult] = []
         slave.start_page_scan()
         master.start_page(target, timeout_slots=timeout_slots,
-                          on_complete=box.append)
+                          on_complete=self._completion(box))
         guard_slots = (timeout_slots or self.config.link.page_timeout_slots) + 64
         deadline = self.sim.now + guard_slots * units.SLOT_NS
-        while not box and self.sim.now < deadline:
-            self.sim.run(until_ns=self.sim.now + 64 * units.SLOT_NS)
+        self._run_to_completion(box, deadline)
         if not box:
             raise ProtocolError("page did not complete within its timeout guard")
         result = box[0]

@@ -12,10 +12,11 @@ fig07/fig08 reproductions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, paper_config, run_sweep
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 THRESHOLDS = [0, 1, 2, 4, 7, 10]
 BER = 1 / 30
@@ -32,11 +33,12 @@ def run_trial(threshold: float, seed: int) -> TrialOutcome:
                         value=result.duration_slots)
 
 
-def run(trials: int = 10, seed: int = 31) -> ExperimentResult:
+def run(trials: int = 10, seed: int = 31,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the correlator threshold at BER 1/40."""
     trials = default_trials(trials)
-    sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    points = sweep.run([(t, str(t)) for t in THRESHOLDS], run_trial)
+    points = run_sweep(seed, trials, [(t, str(t)) for t in THRESHOLDS],
+                       run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ablation_correlator",
         title=f"Ablation — page at BER 1/40 vs correlator threshold",

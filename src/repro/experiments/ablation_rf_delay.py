@@ -16,14 +16,14 @@ delay and measures both page success and the subsequent data delivery:
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, paper_config, run_sweep
 from repro.link.traffic import PeriodicTraffic
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 DELAYS_US = [0, 2, 5, 10, 20, 30, 40, 80]
 TRAFFIC_PERIOD_SLOTS = 20
@@ -52,11 +52,12 @@ def run_trial(delay_us: float, seed: int) -> TrialOutcome:
                         value=float(delivered))
 
 
-def run(trials: int = 8, seed: int = 30) -> ExperimentResult:
+def run(trials: int = 8, seed: int = 30,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the modem delay at zero noise."""
     trials = default_trials(trials)
-    sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    points = sweep.run([(d, f"{d} us") for d in DELAYS_US], run_trial)
+    points = run_sweep(seed, trials, [(d, f"{d} us") for d in DELAYS_US],
+                       run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ablation_rf_delay",
         title="Ablation — piconet data delivery vs RF modem delay",

@@ -9,10 +9,11 @@ The default Ninquiry = 128 (swap at 1.28 s) reproduces the paper's
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, paper_config, run_sweep
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 REPETITIONS = [64, 128, 256]
 GUARD_SLOTS = 16384
@@ -29,11 +30,12 @@ def run_trial(repetitions: float, seed: int) -> TrialOutcome:
                         value=result.duration_slots)
 
 
-def run(trials: int = 12, seed: int = 32) -> ExperimentResult:
+def run(trials: int = 12, seed: int = 32,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep Ninquiry at zero noise."""
     trials = default_trials(trials)
-    sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    points = sweep.run([(r, str(r)) for r in REPETITIONS], run_trial)
+    points = run_sweep(seed, trials, [(r, str(r)) for r in REPETITIONS],
+                       run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ablation_trains",
         title="Ablation — mean inquiry slots vs Ninquiry (train repetitions)",

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.config import SimulationConfig
+from repro.stats.executor import Executor, get_executor
+from repro.stats.montecarlo import TrialOutcome
+from repro.stats.sweep import Sweep, SweepPoint
 from repro.stats.tables import format_table
 
 #: The paper's BER grid (Figs. 6-8): 1/100 to 1/30, plus a zero-noise point.
@@ -42,6 +45,47 @@ def paper_config(ber: float = 0.0, seed: int = 0,
         config = dataclasses.replace(
             config, link=dataclasses.replace(config.link, **overrides))
     return config
+
+
+def run_sweep(seed: int, trials: int, xs: list[tuple[float, str]],
+              trial_fn: Callable[[float, int], TrialOutcome],
+              jobs: Optional[int] = None,
+              legacy_seeds: bool = False,
+              executor: Optional[Executor] = None) -> list[SweepPoint]:
+    """Run the standard per-point Monte-Carlo sweep of an experiment.
+
+    ``jobs`` picks the execution backend (``REPRO_JOBS`` overrides, 1 =
+    sequential); the outcome lists are identical at any job count because
+    every trial is a pure function of its derived seed.  Pass ``executor``
+    instead to share one worker pool across several sweeps (the caller
+    then owns its lifetime).
+    """
+    sweep = Sweep(master_seed=seed, trials_per_point=trials,
+                  legacy_seeds=legacy_seeds)
+    if executor is not None:
+        return sweep.run(xs, trial_fn, executor=executor)
+    with get_executor(jobs) as owned:
+        return sweep.run(xs, trial_fn, executor=owned)
+
+
+@dataclass
+class _StarCall:
+    """Picklable star-apply: turns ``fn(a, b)`` into a one-argument
+    callable over task tuples, so grid experiments need no per-module
+    unpacking wrappers."""
+
+    fn: Callable
+
+    def __call__(self, task):
+        return self.fn(*task)
+
+
+def map_points(fn: Callable, tasks: list, jobs: Optional[int] = None) -> list:
+    """Ordered, optionally parallel starmap for non-MonteCarlo experiment
+    grids (activity/goodput points): ``fn(*task)`` per task tuple.  ``fn``
+    must be a module-level callable for process fan-out."""
+    with get_executor(jobs) as executor:
+        return executor.map(_StarCall(fn), tasks)
 
 
 @dataclass

@@ -15,10 +15,12 @@ frequency-aware resolver the reproduction uses everywhere.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, map_points, paper_config
 from repro.link.page import PageTarget
 from repro.link.traffic import SaturatedTraffic
 
@@ -59,7 +61,8 @@ def run_point(n_piconets: int, seed: int) -> tuple[float, int, float]:
     return goodput, session.channel.collisions, 0.0
 
 
-def run(trials: int = 1, seed: int = 22) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 22,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the number of co-located saturated piconets."""
     result = ExperimentResult(
         experiment_id="ext_interference",
@@ -69,11 +72,11 @@ def run(trials: int = 1, seed: int = 22) -> ExperimentResult:
                            "graceful, linear degradation"),
         notes=f"saturated DM1 on every piconet, {OBSERVE_SLOTS}-slot window",
     )
-    baseline = None
-    for index, count in enumerate(PICONET_COUNTS):
-        goodput, collisions, _ = run_point(count, seed + index)
-        if baseline is None:
-            baseline = goodput
+    tasks = [(count, seed + index)
+             for index, count in enumerate(PICONET_COUNTS)]
+    measured = map_points(run_point, tasks, jobs=jobs)
+    baseline = measured[0][0] if measured else None
+    for count, (goodput, collisions, _) in zip(PICONET_COUNTS, measured):
         loss = (1 - goodput / baseline) * 100 if baseline else 0.0
         result.rows.append([count, round(goodput, 1), round(loss, 1),
                             collisions])

@@ -13,10 +13,12 @@ DM1 108.8, DH1 172.8, DM3 387.2, DH3 585.6, DM5 477.8, DH5 723.2 kb/s.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, map_points, paper_config
 from repro.link.page import PageTarget
 from repro.link.traffic import SaturatedTraffic
 
@@ -53,7 +55,8 @@ def measure_goodput_kbps(ptype: PacketType, ber: float, seed: int) -> float:
     return delivered_bytes * 8 / 1000 / elapsed_s
 
 
-def run(trials: int = 1, seed: int = 20) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 20,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Goodput matrix: packet types x BER grid."""
     result = ExperimentResult(
         experiment_id="ext_throughput",
@@ -63,12 +66,13 @@ def run(trials: int = 1, seed: int = 20) -> ExperimentResult:
                            "at low BER, DM/short win as BER grows"),
         notes=f"saturated master->slave ACL link with ARQ, {OBSERVE_SLOTS}-slot windows",
     )
-    for row_index, (ber, label) in enumerate(BER_POINTS):
-        rates = []
-        for col_index, ptype in enumerate(PACKET_TYPES):
-            rate = measure_goodput_kbps(
-                ptype, ber, seed + 31 * row_index + col_index)
-            rates.append(rate)
+    tasks = [(ptype, ber, seed + 31 * row_index + col_index)
+             for row_index, (ber, _) in enumerate(BER_POINTS)
+             for col_index, ptype in enumerate(PACKET_TYPES)]
+    rates_flat = map_points(measure_goodput_kbps, tasks, jobs=jobs)
+    for row_index, (_, label) in enumerate(BER_POINTS):
+        rates = rates_flat[row_index * len(PACKET_TYPES):
+                           (row_index + 1) * len(PACKET_TYPES)]
         best = PACKET_TYPES[max(range(len(rates)), key=rates.__getitem__)]
         result.rows.append([label] + [round(r, 1) for r in rates] + [best.value])
     return result

@@ -14,6 +14,8 @@ are cheaper still.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
 from repro.baseband.packets import PacketType
 from repro.experiments.common import ExperimentResult, paper_config
@@ -24,7 +26,8 @@ from repro.power.model import PowerModel
 from repro.power.rf_activity import RfActivityProbe
 
 
-def run(trials: int = 1, seed: int = 21) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 21,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Walk one device through every phase, measuring each."""
     session = Session(config=paper_config(ber=0.0, seed=seed,
                                           t_poll_slots=100))

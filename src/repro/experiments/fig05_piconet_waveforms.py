@@ -19,6 +19,8 @@ timeline + VCD).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
@@ -52,7 +54,8 @@ def build_fig5_session(seed: int = 5, trace: bool = False):
     return session, master, slaves, join_times
 
 
-def run(trials: int = 1, seed: int = 5) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 5,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Build the piconet while probing each device's receiver duty."""
     session = Session(config=paper_config(ber=0.0, seed=seed))
     master = session.add_device("master")

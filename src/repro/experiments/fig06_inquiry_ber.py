@@ -19,11 +19,17 @@ Methodology notes:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
-from repro.experiments.common import PAPER_BER_GRID, ExperimentResult, paper_config
+from repro.experiments.common import (
+    PAPER_BER_GRID,
+    ExperimentResult,
+    paper_config,
+    run_sweep,
+)
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 EXTENDED_TIMEOUT_SLOTS = 8192
 
@@ -48,11 +54,11 @@ def run_trial(ber: float, seed: int) -> TrialOutcome:
     return TrialOutcome(seed=seed, success=success, value=value)
 
 
-def run(trials: int = 12, seed: int = 1) -> ExperimentResult:
+def run(trials: int = 12, seed: int = 1,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the paper's BER grid; one Monte Carlo batch per point."""
     trials = default_trials(trials)
-    sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    points = sweep.run(PAPER_BER_GRID, run_trial)
+    points = run_sweep(seed, trials, PAPER_BER_GRID, run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="fig06",
         title="Fig. 6 — mean slots to complete INQUIRY vs BER",

@@ -11,10 +11,16 @@ conditional on completing within the 2048-slot timeout, as in the paper.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
-from repro.experiments.common import PAPER_BER_GRID, ExperimentResult, paper_config
+from repro.experiments.common import (
+    PAPER_BER_GRID,
+    ExperimentResult,
+    paper_config,
+    run_sweep,
+)
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 
 def run_trial(ber: float, seed: int) -> TrialOutcome:
@@ -28,11 +34,11 @@ def run_trial(ber: float, seed: int) -> TrialOutcome:
                         value=result.duration_slots)
 
 
-def run(trials: int = 15, seed: int = 2) -> ExperimentResult:
+def run(trials: int = 15, seed: int = 2,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the paper's BER grid."""
     trials = default_trials(trials)
-    sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    points = sweep.run(PAPER_BER_GRID, run_trial)
+    points = run_sweep(seed, trials, PAPER_BER_GRID, run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="fig07",
         title="Fig. 7 — mean slots to complete PAGE vs BER",

@@ -10,10 +10,17 @@ Both phases run under the paper profile (bit-exact access codes) and the
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
-from repro.experiments.common import PAPER_BER_GRID, ExperimentResult, paper_config
+from repro.experiments.common import (
+    PAPER_BER_GRID,
+    ExperimentResult,
+    paper_config,
+    run_sweep,
+)
+from repro.stats.executor import get_executor
 from repro.stats.montecarlo import TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
 
 TIMEOUT_SLOTS = 2048  # 1.28 s
 
@@ -38,7 +45,8 @@ def page_trial(ber: float, seed: int) -> TrialOutcome:
                         value=result.duration_slots)
 
 
-def run(trials: int = 24, seed: int = 3) -> ExperimentResult:
+def run(trials: int = 24, seed: int = 3,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Failure probability per phase over the paper's BER grid.
 
     The inquiry curve carries a ~50 % noise-independent floor: the mean
@@ -49,10 +57,11 @@ def run(trials: int = 24, seed: int = 3) -> ExperimentResult:
     the paper calls page the bottleneck.
     """
     trials = default_trials(trials)
-    inquiry_sweep = Sweep(master_seed=seed, trials_per_point=trials)
-    inquiry_points = inquiry_sweep.run(PAPER_BER_GRID, inquiry_trial)
-    page_sweep = Sweep(master_seed=seed + 1, trials_per_point=trials)
-    page_points = page_sweep.run(PAPER_BER_GRID, page_trial)
+    with get_executor(jobs) as executor:  # one pool for both sweeps
+        inquiry_points = run_sweep(seed, trials, PAPER_BER_GRID,
+                                   inquiry_trial, executor=executor)
+        page_points = run_sweep(seed + 1, trials, PAPER_BER_GRID,
+                                page_trial, executor=executor)
 
     result = ExperimentResult(
         experiment_id="fig08",

@@ -8,6 +8,8 @@ matches the anchor schedule (one attempt window per Tsniff).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.api import Session
 from repro.baseband.packets import PacketType
 from repro.experiments.common import ExperimentResult, paper_config
@@ -32,7 +34,8 @@ def _connect(session: Session, master, slave) -> None:
         raise RuntimeError("fig9 scenario: page failed at BER 0")
 
 
-def run(trials: int = 1, seed: int = 9) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 9,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Master + 3 slaves; slaves 2 and 3 go to sniff mode via LMP."""
     session = Session(config=paper_config(ber=0.0, seed=seed,
                                           t_poll_slots=8))

@@ -8,10 +8,12 @@ following its own transmission, per the polling scheme).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, map_points, paper_config
 from repro.link.page import PageTarget
 from repro.link.traffic import DutyCycleTraffic
 from repro.power.rf_activity import RfActivityProbe
@@ -47,7 +49,8 @@ def run_point(duty: float, seed: int) -> tuple[float, float]:
     return sample.tx_activity, sample.rx_activity
 
 
-def run(trials: int = 1, seed: int = 10) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 10,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Sweep the paper's duty-cycle range (0..2 %)."""
     result = ExperimentResult(
         experiment_id="fig10",
@@ -58,8 +61,9 @@ def run(trials: int = 1, seed: int = 10) -> ExperimentResult:
         notes=(f"DM1 traffic to one slave, {OBSERVE_SLOTS}-slot windows; "
                "duty = fraction of master TX slots carrying data"),
     )
-    for index, duty in enumerate(DUTIES):
-        tx, rx = run_point(duty, seed + index)
+    tasks = [(duty, seed + index) for index, duty in enumerate(DUTIES)]
+    measured = map_points(run_point, tasks, jobs=jobs)
+    for duty, (tx, rx) in zip(DUTIES, measured):
         ratio = tx / rx if rx > 0 else float("inf")
         result.rows.append([
             f"{duty * 100:.2f}%",

@@ -8,10 +8,12 @@ active curve around Tsniff ≈ 30 slots and saving ~30 % at Tsniff = 100
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, map_points, paper_config
 from repro.link.page import PageTarget
 from repro.link.traffic import PeriodicTraffic
 from repro.power.rf_activity import RfActivityProbe
@@ -53,7 +55,8 @@ def _measure(seed: int, t_sniff_slots: int | None) -> tuple[float, int]:
     return sample.total_activity, delivered
 
 
-def run(trials: int = 1, seed: int = 11) -> ExperimentResult:
+def run(trials: int = 1, seed: int = 11,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Active baseline plus the paper's Tsniff sweep."""
     active_activity, active_delivered = _measure(seed, None)
     result = ExperimentResult(
@@ -66,8 +69,10 @@ def run(trials: int = 1, seed: int = 11) -> ExperimentResult:
         notes=(f"master sends DM1 every {TRAFFIC_PERIOD_SLOTS} slots; "
                f"{OBSERVE_SLOTS}-slot windows; N_attempt = 1"),
     )
-    for index, t_sniff in enumerate(T_SNIFFS):
-        sniff_activity, delivered = _measure(seed + 100 + index, t_sniff)
+    tasks = [(seed + 100 + index, t_sniff)
+             for index, t_sniff in enumerate(T_SNIFFS)]
+    measured = map_points(_measure, tasks, jobs=jobs)
+    for t_sniff, (sniff_activity, delivered) in zip(T_SNIFFS, measured):
         result.rows.append([
             t_sniff,
             round(sniff_activity * 100, 3),

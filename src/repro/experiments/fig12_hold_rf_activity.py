@@ -9,9 +9,11 @@ only beats active mode for Thold ≳ 120 slots.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro import units
 from repro.api import Session
-from repro.experiments.common import ExperimentResult, paper_config
+from repro.experiments.common import ExperimentResult, map_points, paper_config
 from repro.link.page import PageTarget
 from repro.link.piconet import HoldParams
 from repro.link.states import ConnectionMode
@@ -61,7 +63,19 @@ def _build(seed: int) -> tuple[Session, object, object]:
     return session, master, slave
 
 
-def run(trials: int = 1, seed: int = 12) -> ExperimentResult:
+def _measure_hold(seed: int, t_hold: int) -> tuple[float, int]:
+    """Hold arm at one Thold: (slave activity, completed hold cycles)."""
+    session, master, slave = _build(seed)
+    cycler = HoldCycler(session, master, slave, t_hold)
+    observe = max(12000, 12 * t_hold)
+    session.run_slots(400)
+    probe = RfActivityProbe(slave)
+    session.run_slots(observe)
+    return probe.sample().total_activity, cycler.cycles
+
+
+def run(trials: int = 1, seed: int = 12,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Active baseline plus the paper's Thold sweep."""
     # active arm: no traffic, keep-alive polling only
     session, master, slave = _build(seed)
@@ -82,19 +96,15 @@ def run(trials: int = 1, seed: int = 12) -> ExperimentResult:
                f"{KEEPALIVE_POLL_SLOTS} slots; eager resync polls every "
                "6 slots after hold expiry"),
     )
-    for index, t_hold in enumerate(T_HOLDS):
-        session, master, slave = _build(seed + 100 + index)
-        cycler = HoldCycler(session, master, slave, t_hold)
-        observe = max(12000, 12 * t_hold)
-        session.run_slots(400)
-        probe = RfActivityProbe(slave)
-        session.run_slots(observe)
-        activity = probe.sample().total_activity
+    tasks = [(seed + 100 + index, t_hold)
+             for index, t_hold in enumerate(T_HOLDS)]
+    measured = map_points(_measure_hold, tasks, jobs=jobs)
+    for t_hold, (activity, cycles) in zip(T_HOLDS, measured):
         result.rows.append([
             t_hold,
             round(activity * 100, 3),
             round(active_activity * 100, 3),
             "yes" if activity < active_activity else "no",
-            cycler.cycles,
+            cycles,
         ])
     return result

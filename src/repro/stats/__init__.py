@@ -6,18 +6,31 @@ from repro.stats.estimators import (
     mean_with_ci,
     wilson_interval,
 )
-from repro.stats.montecarlo import MonteCarlo, TrialOutcome
+from repro.stats.executor import (
+    Executor,
+    ParallelExecutor,
+    SequentialExecutor,
+    default_jobs,
+    get_executor,
+)
+from repro.stats.montecarlo import MonteCarlo, TrialOutcome, derive_seed
 from repro.stats.sweep import Sweep, SweepPoint
 from repro.stats.tables import format_table
 
 __all__ = [
+    "Executor",
     "MeanEstimate",
     "MonteCarlo",
+    "ParallelExecutor",
     "ProportionEstimate",
+    "SequentialExecutor",
     "Sweep",
     "SweepPoint",
     "TrialOutcome",
+    "default_jobs",
+    "derive_seed",
     "format_table",
+    "get_executor",
     "mean_with_ci",
     "wilson_interval",
 ]

@@ -1,0 +1,207 @@
+"""Pluggable execution backends for Monte-Carlo trials and sweeps.
+
+Every trial in this codebase is a pure function of its derived seed, so a
+batch of trials can run on one core or many and must produce *the same*
+ordered outcome list either way.  This module supplies the two backends:
+
+* :class:`SequentialExecutor` — the reference implementation, a plain
+  ordered loop on the calling process;
+* :class:`ParallelExecutor` — a ``concurrent.futures.ProcessPoolExecutor``
+  front-end that dispatches contiguous chunks of trials to worker
+  processes and reassembles results in submission order.
+
+Determinism contract: for any picklable ``fn`` and item list, every
+executor returns ``[fn(item) for item in items]`` — same values, same
+order, independent of the job count.  The equivalence suite
+(``tests/stats/test_executor_equivalence.py``) enforces this for every
+registered experiment.
+
+The job count is resolved like trial counts: the ``REPRO_JOBS``
+environment variable (mirroring ``REPRO_TRIALS``) overrides whatever the
+caller requested, and the CLI exposes ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import warnings
+from typing import Any, Callable, Optional, Sequence
+
+#: Environment knob: fan trials out over this many worker processes.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Target number of chunks handed to each worker; >1 keeps the pool busy
+#: when per-trial wall-clock varies (high-BER trials run longer).
+_CHUNKS_PER_JOB = 4
+
+
+def default_jobs(requested: Optional[int] = None) -> int:
+    """Resolve the worker count: ``REPRO_JOBS`` overrides ``requested``.
+
+    Returns 1 (sequential) when neither is set.  A value of 0 or ``"auto"``
+    in the environment means "one job per CPU".
+    """
+    override = os.environ.get(JOBS_ENV_VAR)
+    if override:
+        if override.strip().lower() == "auto" or int(override) <= 0:
+            return max(1, os.cpu_count() or 1)
+        return int(override)
+    if requested is not None:
+        if requested <= 0:
+            return max(1, os.cpu_count() or 1)
+        return requested
+    return 1
+
+
+class Executor:
+    """Interface: an ordered, deterministic map over trial inputs."""
+
+    jobs: int = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            progress: Optional[Callable[[int, Any], None]] = None) -> list:
+        """Return ``[fn(item) for item in items]`` (order guaranteed).
+
+        ``progress(index, result)`` is invoked in index order; under a
+        parallel backend it fires as ordered results become available, not
+        as workers finish.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialExecutor(Executor):
+    """The reference backend: run every trial in the calling process."""
+
+    jobs = 1
+
+    def map(self, fn, items, progress=None) -> list:
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if progress is not None:
+                progress(index, result)
+        return results
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: list) -> list:
+    """Worker-side body: evaluate one contiguous chunk of items."""
+    return [fn(item) for item in chunk]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool backend with chunked dispatch and ordered reassembly.
+
+    Chunks are contiguous slices of the item list, submitted in order and
+    consumed in submission order, so the result list (and any ``progress``
+    callbacks) are indistinguishable from the sequential backend.  Each
+    worker re-evaluates ``fn(item)`` from the item's own derived seed —
+    no state is shared between trials, which is what makes the fan-out
+    safe.
+
+    Unpicklable trial functions (e.g. closures in tests) degrade to the
+    sequential path with a warning rather than failing, preserving the
+    determinism contract.
+
+    The worker pool is created lazily on the first parallel ``map`` and
+    reused across calls — a sweep's per-point batches amortise the pool
+    start-up instead of re-forking workers at every point.  Call
+    :meth:`close` (or use the executor as a context manager) to release
+    the workers; :func:`repro.experiments.common.run_sweep` does this for
+    every experiment run.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None):
+        # an explicit job count is honoured verbatim — the REPRO_JOBS env
+        # override applies only at the get_executor()/default_jobs() entry
+        # point, so tests and direct callers can pin a backend
+        if jobs is None:
+            self.jobs = default_jobs()
+        elif jobs <= 0:
+            self.jobs = max(1, os.cpu_count() or 1)
+        else:
+            self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # prefer fork where available: workers inherit the parent's
+            # in-memory module state, so runtime-patched experiment
+            # constants (test fixtures, notebooks) behave identically in
+            # and out of process — spawn/forkserver re-import and would
+            # silently diverge from the sequential path
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                warnings.warn(
+                    "fork start method unavailable; spawn workers re-import "
+                    "modules, so runtime-patched experiment state will not "
+                    "reach them and parallel results may diverge from the "
+                    "sequential path", RuntimeWarning, stacklevel=3)
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                             mp_context=context)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def map(self, fn, items, progress=None) -> list:
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return SequentialExecutor().map(fn, items, progress)
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            warnings.warn(
+                f"{fn!r} is not picklable; ParallelExecutor falling back "
+                "to the sequential path", RuntimeWarning, stacklevel=2)
+            return SequentialExecutor().map(fn, items, progress)
+
+        jobs = min(self.jobs, len(items))
+        size = self.chunk_size or max(
+            1, math.ceil(len(items) / (jobs * _CHUNKS_PER_JOB)))
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        results: list = []
+        index = 0
+        for future in futures:  # submission order == item order
+            for result in future.result():
+                results.append(result)
+                if progress is not None:
+                    progress(index, result)
+                index += 1
+        return results
+
+
+def get_executor(jobs: Optional[int] = None) -> Executor:
+    """The backend for a resolved job count: sequential at 1, pool above."""
+    resolved = default_jobs(jobs)
+    if resolved <= 1:
+        return SequentialExecutor()
+    return ParallelExecutor(jobs=resolved)

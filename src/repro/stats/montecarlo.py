@@ -2,7 +2,8 @@
 
 Each trial gets a deterministic seed derived from (master seed, trial
 index), so any individual trial — including a failing one — can be replayed
-in isolation.
+in isolation, and a batch can be fanned out over worker processes (see
+:mod:`repro.stats.executor`) without changing a single outcome.
 """
 
 from __future__ import annotations
@@ -11,8 +12,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.stats.executor import Executor, SequentialExecutor
+
 #: Environment knob: scale trial counts in benches without editing code.
 TRIALS_ENV_VAR = "REPRO_TRIALS"
+
+#: The pre-v1 seed formula's stride (``master_seed * 10_000 + index``).
+LEGACY_SEED_STRIDE = 10_000
+
+MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15  # 2**64 / phi, the splitmix64 increment
 
 
 def default_trials(requested: int) -> int:
@@ -21,6 +30,33 @@ def default_trials(requested: int) -> int:
     if override:
         return max(1, int(override))
     return requested
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer (Steele et al. 2014); bijective on 64 bits."""
+    value &= MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return value ^ (value >> 31)
+
+
+def derive_seed(master_seed: int, index: int, stream: int = 0) -> int:
+    """Derive the seed for trial ``index`` of ``master_seed`` (64-bit).
+
+    The legacy formula ``master_seed * 10_000 + index`` aliases
+    *structurally*: (master 3, trial 10 000) equals (master 4, trial 0), so
+    any run beyond 10 000 trials — or two sweep points with nearby master
+    seeds — silently reuses seeds.  Here each coordinate is diffused
+    through the splitmix64 finalizer (a 64-bit bijection) before being
+    folded in, so distinct ``(master_seed, stream, index)`` triples have no
+    structural collisions and accidental ones occur with probability
+    ~2**-64 per pair.  ``stream`` namespaces independent consumers (e.g.
+    the per-point master seeds of a sweep) away from trial seeds.
+    """
+    state = _mix64((master_seed & MASK64) + _GOLDEN)
+    state = _mix64(state ^ _mix64((stream & MASK64) + 2 * _GOLDEN))
+    state = _mix64(state ^ _mix64((index & MASK64) + 3 * _GOLDEN))
+    return state
 
 
 @dataclass
@@ -45,25 +81,40 @@ class MonteCarlo:
     """Runs ``trial_fn(seed) -> TrialOutcome`` over derived seeds.
 
     Attributes:
-        master_seed: base seed; trial i uses ``master_seed * 10_000 + i``.
+        master_seed: base seed; trial i uses :func:`derive_seed`.
         trials: number of trials.
+        legacy_seeds: escape hatch reinstating the pre-v1 formula
+            ``master_seed * 10_000 + i`` so replay seeds quoted in older
+            docs/results stay resolvable.  Do not use for new runs — it
+            collides beyond 10 000 trials.
     """
 
     master_seed: int
     trials: int
+    legacy_seeds: bool = False
     outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    def seed_for(self, index: int) -> int:
+        """The replay seed of trial ``index``."""
+        if self.legacy_seeds:
+            return self.master_seed * LEGACY_SEED_STRIDE + index
+        return derive_seed(self.master_seed, index)
 
     def run(self, trial_fn: Callable[[int], TrialOutcome],
             progress: Optional[Callable[[int, TrialOutcome], None]] = None,
+            executor: Optional[Executor] = None,
             ) -> list[TrialOutcome]:
-        """Execute all trials sequentially (deterministic order)."""
-        self.outcomes.clear()
-        for index in range(self.trials):
-            seed = self.master_seed * 10_000 + index
-            outcome = trial_fn(seed)
-            self.outcomes.append(outcome)
-            if progress is not None:
-                progress(index, outcome)
+        """Execute all trials; outcome order is by trial index.
+
+        ``executor`` selects the backend (default sequential).  Because
+        each trial is a pure function of its derived seed, the outcome
+        list is identical at any job count.
+        """
+        if executor is None:
+            executor = SequentialExecutor()
+        seeds = [self.seed_for(index) for index in range(self.trials)]
+        self.outcomes.clear()  # a failing run must not leave stale results
+        self.outcomes[:] = executor.map(trial_fn, seeds, progress=progress)
         return self.outcomes
 
     # -- aggregation -----------------------------------------------------

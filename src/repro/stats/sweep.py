@@ -3,10 +3,33 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.stats.estimators import MeanEstimate, ProportionEstimate, mean_with_ci, wilson_interval
-from repro.stats.montecarlo import MonteCarlo, TrialOutcome
+from repro.stats.executor import Executor
+from repro.stats.montecarlo import MonteCarlo, TrialOutcome, derive_seed
+
+#: Stream tag separating per-point master seeds from trial seeds.
+SWEEP_POINT_STREAM = 0x53574545  # "SWEE"
+
+#: The pre-v1 per-point seed stride (``master_seed + 7919 * point_index``).
+LEGACY_POINT_STRIDE = 7919
+
+
+@dataclass
+class _PointTrial:
+    """Picklable binding of ``trial_fn`` to one x value.
+
+    A module-level class (rather than a lambda) so that
+    :class:`~repro.stats.executor.ParallelExecutor` can ship it to worker
+    processes whenever ``trial_fn`` itself is a module-level function.
+    """
+
+    trial_fn: Callable[[float, int], TrialOutcome]
+    x: float
+
+    def __call__(self, seed: int) -> TrialOutcome:
+        return self.trial_fn(self.x, seed)
 
 
 @dataclass
@@ -29,20 +52,40 @@ class Sweep:
     """A one-dimensional parameter sweep with per-point Monte Carlo.
 
     ``trial_fn(x, seed)`` must return a :class:`TrialOutcome`.
+
+    ``legacy_seeds`` reinstates the pre-v1 per-point seed arithmetic
+    (``master_seed + 7919 * point_index``, trials at stride 10 000) so
+    replay seeds quoted in older results stay resolvable; the default
+    derivation has no structural collisions between points.
     """
 
     master_seed: int
     trials_per_point: int
+    legacy_seeds: bool = False
     points: list[SweepPoint] = field(default_factory=list)
 
+    def point_master_seed(self, point_index: int) -> int:
+        """The master seed of the Monte Carlo batch at ``point_index``."""
+        if self.legacy_seeds:
+            return self.master_seed + LEGACY_POINT_STRIDE * point_index
+        return derive_seed(self.master_seed, point_index,
+                           stream=SWEEP_POINT_STREAM)
+
     def run(self, xs: list[tuple[float, str]],
-            trial_fn: Callable[[float, int], TrialOutcome]) -> list[SweepPoint]:
-        """Run the sweep; ``xs`` is a list of (value, label) pairs."""
+            trial_fn: Callable[[float, int], TrialOutcome],
+            executor: Optional[Executor] = None) -> list[SweepPoint]:
+        """Run the sweep; ``xs`` is a list of (value, label) pairs.
+
+        ``executor`` fans each point's trials out over worker processes;
+        results are independent of the job count (see
+        :mod:`repro.stats.executor`).
+        """
         self.points.clear()
         for point_index, (x, label) in enumerate(xs):
-            mc = MonteCarlo(master_seed=self.master_seed + 7919 * point_index,
-                            trials=self.trials_per_point)
-            mc.run(lambda seed, x=x: trial_fn(x, seed))
+            mc = MonteCarlo(master_seed=self.point_master_seed(point_index),
+                            trials=self.trials_per_point,
+                            legacy_seeds=self.legacy_seeds)
+            mc.run(_PointTrial(trial_fn, x), executor=executor)
             self.points.append(SweepPoint(
                 x=x,
                 label=label,

@@ -1,0 +1,28 @@
+"""Registry smoke suite: every experiment must run end-to-end.
+
+New experiments are registered in ``repro.experiments.registry``; this
+suite executes each of them at tiny scale (2 trials, short windows — see
+the ``tiny_experiments`` fixture) so an experiment that bit-rots fails
+loudly instead of silently dropping out of coverage.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_end_to_end(experiment_id, tiny_experiments):
+    result = run_experiment(experiment_id, jobs=1)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    table = result.to_table()
+    assert result.title in table
+    for header in result.headers:
+        assert header in table
+
+
+def test_registry_descriptions_are_nonempty():
+    for experiment_id, (run, description) in EXPERIMENTS.items():
+        assert callable(run)
+        assert description.strip(), f"{experiment_id} has no description"

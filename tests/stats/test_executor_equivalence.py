@@ -1,0 +1,177 @@
+"""Parallel-vs-sequential determinism equivalence suite.
+
+The executor contract (see ``repro.stats.executor``): for the same master
+seed, a Monte-Carlo batch produces *byte-identical* outcome lists at any
+job count, because every trial is a pure function of its derived seed and
+results are reassembled in trial order.  This suite enforces the contract
+on synthetic trials, on the real simulation trial functions behind the
+paper's BER figures, and on every registered experiment end-to-end, plus
+hypothesis property tests that the seed derivation has no collisions over
+(master seed, sweep point, trial).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig06_inquiry_ber,
+    fig07_page_ber,
+    fig08_failure_probability,
+    run_experiment,
+)
+from repro.stats.executor import (
+    JOBS_ENV_VAR,
+    ParallelExecutor,
+    SequentialExecutor,
+    default_jobs,
+    get_executor,
+)
+from repro.stats.montecarlo import (
+    LEGACY_SEED_STRIDE,
+    MASK64,
+    MonteCarlo,
+    TrialOutcome,
+    derive_seed,
+)
+from repro.stats.sweep import LEGACY_POINT_STRIDE, SWEEP_POINT_STREAM, Sweep
+
+
+def _synthetic_trial(seed: int) -> TrialOutcome:
+    """Module-level (hence picklable) pure trial function."""
+    return TrialOutcome(seed=seed, success=seed % 3 != 0,
+                        value=float(seed % 97))
+
+
+class TestExecutorContract:
+    def test_sequential_is_a_plain_ordered_map(self):
+        outcomes = SequentialExecutor().map(_synthetic_trial, [5, 6, 7])
+        assert [o.seed for o in outcomes] == [5, 6, 7]
+
+    def test_parallel_outcomes_byte_identical_to_sequential(self):
+        mc_seq = MonteCarlo(master_seed=42, trials=10)
+        mc_par = MonteCarlo(master_seed=42, trials=10)
+        seq = mc_seq.run(_synthetic_trial, executor=SequentialExecutor())
+        par = mc_par.run(_synthetic_trial, executor=ParallelExecutor(jobs=4))
+        assert pickle.dumps(seq) == pickle.dumps(par)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 100])
+    def test_any_chunking_covers_all_items_in_order(self, chunk_size):
+        executor = ParallelExecutor(jobs=2, chunk_size=chunk_size)
+        outcomes = executor.map(_synthetic_trial, list(range(11)))
+        assert [o.seed for o in outcomes] == list(range(11))
+
+    def test_progress_fires_in_trial_order_under_parallel(self):
+        seen = []
+        mc = MonteCarlo(master_seed=1, trials=8)
+        mc.run(_synthetic_trial, progress=lambda i, o: seen.append(i),
+               executor=ParallelExecutor(jobs=3))
+        assert seen == list(range(8))
+
+    def test_unpicklable_fn_degrades_to_sequential_with_warning(self):
+        captured = []
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            outcomes = ParallelExecutor(jobs=2).map(
+                lambda seed: captured.append(seed) or _synthetic_trial(seed),
+                [1, 2, 3])
+        assert captured == [1, 2, 3]  # ran in-process
+        assert [o.seed for o in outcomes] == [1, 2, 3]
+
+    def test_default_jobs_resolution(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert default_jobs() == 1
+        assert default_jobs(3) == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert default_jobs() == 5
+        assert default_jobs(3) == 5  # env wins, mirroring REPRO_TRIALS
+        monkeypatch.setenv(JOBS_ENV_VAR, "auto")
+        assert default_jobs() >= 1
+
+    def test_get_executor_selects_backend(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert isinstance(get_executor(), SequentialExecutor)
+        assert isinstance(get_executor(1), SequentialExecutor)
+        executor = get_executor(4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 4
+
+
+#: The real simulation trial functions behind the paper's Monte-Carlo
+#: figures, each exercised on a two-point BER grid at 3 trials/point.
+SIM_TRIAL_FNS = {
+    "fig06": fig06_inquiry_ber.run_trial,
+    "fig07": fig07_page_ber.run_trial,
+    "fig08_inquiry": fig08_failure_probability.inquiry_trial,
+    "fig08_page": fig08_failure_probability.page_trial,
+}
+SMALL_GRID = [(0.0, "0"), (1 / 60, "1/60")]
+
+
+@pytest.mark.parametrize("name", sorted(SIM_TRIAL_FNS))
+def test_simulation_sweep_outcomes_identical_at_any_job_count(name):
+    trial_fn = SIM_TRIAL_FNS[name]
+    seq = Sweep(master_seed=11, trials_per_point=3).run(
+        SMALL_GRID, trial_fn, executor=SequentialExecutor())
+    par = Sweep(master_seed=11, trials_per_point=3).run(
+        SMALL_GRID, trial_fn, executor=ParallelExecutor(jobs=4))
+    for point_seq, point_par in zip(seq, par):
+        # byte-identical TrialOutcome lists (seeds, flags, values, extras)
+        assert pickle.dumps(point_seq.extra) == pickle.dumps(point_par.extra)
+        # and identical aggregates
+        assert point_seq.mean == point_par.mean
+        assert point_seq.success == point_par.success
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_every_experiment_is_job_count_invariant(experiment_id,
+                                                 tiny_experiments):
+    sequential = run_experiment(experiment_id, jobs=1)
+    parallel = run_experiment(experiment_id, jobs=2)
+    # repr-compare: cells may legitimately be NaN (e.g. a conditional mean
+    # with no successes), and NaN != NaN under list equality
+    assert repr(sequential.rows) == repr(parallel.rows)
+    assert sequential.to_table() == parallel.to_table()
+
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+REALISTIC = st.integers(min_value=0, max_value=1_000_000)
+
+
+class TestSeedDerivationProperties:
+    @settings(max_examples=200)
+    @given(st.sets(st.tuples(U64, U64), min_size=2, max_size=64))
+    def test_injective_over_master_and_trial(self, keys):
+        assert len({derive_seed(m, i) for m, i in keys}) == len(keys)
+
+    @settings(max_examples=200)
+    @given(st.sets(st.tuples(REALISTIC, REALISTIC, REALISTIC),
+                   min_size=2, max_size=64))
+    def test_injective_over_master_point_and_trial(self, triples):
+        # exactly the two-level derivation a Sweep performs
+        seeds = {derive_seed(derive_seed(m, p, stream=SWEEP_POINT_STREAM), t)
+                 for m, p, t in triples}
+        assert len(seeds) == len(triples)
+
+    @settings(max_examples=100)
+    @given(U64, U64, st.sets(U64, min_size=2, max_size=8))
+    def test_streams_namespace_the_derivation(self, master, index, streams):
+        seeds = {derive_seed(master, index, stream=s) for s in streams}
+        assert len(seeds) == len(streams)
+
+    @settings(max_examples=100)
+    @given(U64, U64)
+    def test_result_is_a_64_bit_seed(self, master, index):
+        assert 0 <= derive_seed(master, index) <= MASK64
+
+    def test_legacy_formulas_alias_where_new_derivation_does_not(self):
+        # trial stride alias: (m, 10_000) == (m+1, 0)
+        assert 3 * LEGACY_SEED_STRIDE + LEGACY_SEED_STRIDE \
+            == 4 * LEGACY_SEED_STRIDE + 0
+        assert derive_seed(3, LEGACY_SEED_STRIDE) != derive_seed(4, 0)
+        # sweep-point alias: master 7920/point 1 == master 1/point 2
+        assert 7920 + LEGACY_POINT_STRIDE * 1 == 1 + LEGACY_POINT_STRIDE * 2
+        assert derive_seed(7920, 1, stream=SWEEP_POINT_STREAM) \
+            != derive_seed(1, 2, stream=SWEEP_POINT_STREAM)

@@ -5,8 +5,14 @@ import math
 import pytest
 
 from repro.stats.estimators import mean_with_ci, wilson_interval
-from repro.stats.montecarlo import MonteCarlo, TrialOutcome, default_trials
-from repro.stats.sweep import Sweep
+from repro.stats.montecarlo import (
+    LEGACY_SEED_STRIDE,
+    MonteCarlo,
+    TrialOutcome,
+    default_trials,
+    derive_seed,
+)
+from repro.stats.sweep import LEGACY_POINT_STRIDE, SWEEP_POINT_STREAM, Sweep
 from repro.stats.tables import format_table
 
 
@@ -51,15 +57,29 @@ class TestMonteCarlo:
         mc = MonteCarlo(master_seed=3, trials=10)
         outcomes = mc.run(self.trial)
         assert len(outcomes) == 10
-        assert outcomes[0].seed == 30_000
-        assert outcomes[9].seed == 30_009
+        assert outcomes[0].seed == derive_seed(3, 0)
+        assert outcomes[9].seed == derive_seed(3, 9)
+        assert len({o.seed for o in outcomes}) == 10
+
+    def test_legacy_seeds_escape_hatch(self):
+        mc = MonteCarlo(master_seed=3, trials=10, legacy_seeds=True)
+        outcomes = mc.run(self.trial)
+        assert outcomes[0].seed == 3 * LEGACY_SEED_STRIDE
+        assert outcomes[9].seed == 3 * LEGACY_SEED_STRIDE + 9
+
+    def test_legacy_formula_collides_new_one_does_not(self):
+        # the structural alias the new derivation removes:
+        legacy = lambda m, i: m * LEGACY_SEED_STRIDE + i
+        assert legacy(3, LEGACY_SEED_STRIDE) == legacy(4, 0)
+        assert derive_seed(3, LEGACY_SEED_STRIDE) != derive_seed(4, 0)
 
     def test_aggregation(self):
         mc = MonteCarlo(master_seed=0, trials=10)
         mc.run(self.trial)
-        assert mc.successes == 5
-        assert mc.failure_rate == pytest.approx(0.5)
-        assert len(mc.successful_values()) == 5
+        expected = sum(1 for i in range(10) if mc.seed_for(i) % 2 == 0)
+        assert mc.successes == expected
+        assert mc.failure_rate == pytest.approx(1 - expected / 10)
+        assert len(mc.successful_values()) == expected
 
     def test_progress_callback(self):
         seen = []
@@ -91,6 +111,13 @@ class TestSweep:
         points = sweep.run([(0.5, "1/2")],
                            lambda x, s: TrialOutcome(s, True, x))
         assert points[0].label == "1/2"
+
+    def test_point_master_seeds(self):
+        sweep = Sweep(master_seed=5, trials_per_point=1)
+        assert sweep.point_master_seed(2) == derive_seed(
+            5, 2, stream=SWEEP_POINT_STREAM)
+        legacy = Sweep(master_seed=5, trials_per_point=1, legacy_seeds=True)
+        assert legacy.point_master_seed(2) == 5 + 2 * LEGACY_POINT_STRIDE
 
 
 class TestTables:

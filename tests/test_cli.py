@@ -23,6 +23,19 @@ class TestCli:
                      "--trials", "2", "--seed", "9"]) == 0
         assert "threshold" in capsys.readouterr().out
 
+    def test_run_with_jobs_matches_sequential(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["run", "ablation_correlator",
+                     "--trials", "2", "--seed", "9", "--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "ablation_correlator",
+                     "--trials", "2", "--seed", "9", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical tables; only the timing line may differ
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("[")]
+        assert strip(sequential) == strip(parallel)
+
     def test_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
