@@ -8,11 +8,18 @@ different LAPs give large mutual Hamming distances.
 The receiver is a sliding correlator: it accepts a sync word whose Hamming
 distance from the expected one is at most a threshold (default 7, i.e. the
 classic "57 of 64" correlation).
+
+Fast path: a sync word is a pure function of its LAP, yet the bit-accurate
+channel used to recompute the full 64-bit BCH division on every encode and
+every correlator decision.  The word (and the derived ID/full access-code
+bit patterns) is now computed once per LAP and served from a cache as a
+read-only array; public accessors that hand bits to callers return copies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -40,21 +47,30 @@ ID_CODE_LEN = PREAMBLE_LEN + SYNC_LEN
 FULL_CODE_LEN = PREAMBLE_LEN + SYNC_LEN + TRAILER_LEN
 
 _PN_BITS = np.array([(PN_SEQUENCE >> (63 - i)) & 1 for i in range(64)], dtype=np.uint8)
+_PN_BITS.setflags(write=False)
 
 
-def sync_word(lap: int) -> np.ndarray:
-    """The 64-bit sync word for a LAP (MSB-first bit array)."""
+@lru_cache(maxsize=None)
+def _sync_word_cached(lap: int) -> np.ndarray:
+    """The (read-only, cached) 64-bit sync word for a LAP."""
     if not 0 <= lap < (1 << 24):
         raise ValueError(f"LAP out of range: {lap:#x}")
     msb = (lap >> 23) & 1
     barker = BARKER_MSB1 if msb else BARKER_MSB0
     info = (lap << 6) | barker  # 30 bits, MSB-first
-    info_bits = np.array([(info >> (29 - i)) & 1 for i in range(30)], dtype=np.uint8)
+    info_bits = ((info >> np.arange(29, -1, -1)) & 1).astype(np.uint8)
     scrambled_info = info_bits ^ _PN_BITS[:30]
     # remainder_bits computes remainder(info * x^34) == the systematic parity
     parity = remainder_bits(scrambled_info, BCH_POLY, BCH_DEGREE)
     codeword = np.concatenate([scrambled_info, parity])
-    return (codeword ^ _PN_BITS).astype(np.uint8)
+    word = (codeword ^ _PN_BITS).astype(np.uint8)
+    word.setflags(write=False)
+    return word
+
+
+def sync_word(lap: int) -> np.ndarray:
+    """The 64-bit sync word for a LAP (MSB-first bit array)."""
+    return _sync_word_cached(lap).copy()
 
 
 def sync_word_valid(word: np.ndarray) -> bool:
@@ -64,6 +80,25 @@ def sync_word_valid(word: np.ndarray) -> bool:
     descrambled = word.astype(np.uint8) ^ _PN_BITS
     remainder = remainder_bits(descrambled, BCH_POLY, BCH_DEGREE)
     return not remainder.any()
+
+
+@lru_cache(maxsize=None)
+def _id_bits_cached(lap: int) -> np.ndarray:
+    sync = _sync_word_cached(lap)
+    preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
+    bits = np.concatenate([preamble, sync])
+    bits.setflags(write=False)
+    return bits
+
+
+@lru_cache(maxsize=None)
+def _full_bits_cached(lap: int) -> np.ndarray:
+    sync = _sync_word_cached(lap)
+    preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
+    trailer = _alternating(start=int(sync[-1] ^ 1), length=TRAILER_LEN)
+    bits = np.concatenate([preamble, sync, trailer])
+    bits.setflags(write=False)
+    return bits
 
 
 @dataclass(frozen=True)
@@ -79,28 +114,20 @@ class AccessCode:
 
     def id_bits(self) -> np.ndarray:
         """The 68 bits of an ID packet: preamble + sync word."""
-        sync = self.sync
-        preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
-        return np.concatenate([preamble, sync])
+        return _id_bits_cached(self.lap).copy()
 
     def full_bits(self) -> np.ndarray:
         """The 72 bits of an access code followed by a header."""
-        sync = self.sync
-        preamble = _alternating(start=int(sync[0] ^ 1), length=PREAMBLE_LEN)
-        trailer = _alternating(start=int(sync[-1] ^ 1), length=TRAILER_LEN)
-        return np.concatenate([preamble, sync, trailer])
+        return _full_bits_cached(self.lap).copy()
 
     def correlate(self, received_sync: np.ndarray, threshold: int = 7) -> bool:
         """Sliding-correlator decision: accept if at most ``threshold`` of the
         64 sync bits disagree."""
         if len(received_sync) != SYNC_LEN:
             raise ValueError("correlate() expects the 64 sync bits")
-        return hamming_distance(self.sync, received_sync) <= threshold
+        return hamming_distance(_sync_word_cached(self.lap), received_sync) <= threshold
 
 
 def _alternating(start: int, length: int) -> np.ndarray:
     """An alternating 0101/1010 run beginning with ``start``."""
-    out = np.empty(length, dtype=np.uint8)
-    for i in range(length):
-        out[i] = (start + i) & 1
-    return out
+    return ((start + np.arange(length)) & 1).astype(np.uint8)

@@ -7,6 +7,8 @@ Bluetooth transmits the least-significant bit of each field first, so
 
 from __future__ import annotations
 
+import operator
+
 import numpy as np
 
 
@@ -16,25 +18,26 @@ def bits_from_int(value: int, width: int) -> np.ndarray:
     >>> bits_from_int(0b110, 4).tolist()
     [0, 1, 1, 0]
     """
+    value = operator.index(value)  # accept numpy ints, reject floats
     if value < 0:
         raise ValueError("value must be non-negative")
     if width < 0:
         raise ValueError("width must be non-negative")
     if value >> width:
         raise ValueError(f"value {value} does not fit in {width} bits")
-    out = np.empty(width, dtype=np.uint8)
-    for i in range(width):
-        out[i] = (value >> i) & 1
-    return out
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = value.to_bytes((width + 7) // 8, "little")
+    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                         bitorder="little")[:width]
 
 
 def int_from_bits(bits: np.ndarray) -> int:
     """Inverse of :func:`bits_from_int` (LSB-first)."""
-    value = 0
-    for i, bit in enumerate(bits):
-        if bit:
-            value |= 1 << i
-    return value
+    if len(bits) == 0:
+        return 0
+    packed = np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
 
 
 def bits_from_bytes(data: bytes) -> np.ndarray:

@@ -15,12 +15,13 @@ by the piconet clock at the packet's slot, per spec §7.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
 from repro.baseband import access_code as ac
-from repro.baseband.access_code import AccessCode
+from repro.baseband.access_code import AccessCode, _full_bits_cached, _id_bits_cached
 from repro.baseband.bits import bits_from_bytes, bits_from_int, bytes_from_bits, int_from_bits
 from repro.baseband.crc import crc16_compute, crc16_check
 from repro.baseband.fec import Fec13Result, fec13_decode, fec13_encode, fec23_decode, fec23_encode
@@ -34,7 +35,7 @@ from repro.baseband.packets import (
     header_fields,
     type_from_code,
 )
-from repro.baseband.whitening import whitening_sequence
+from repro.baseband.whitening import whitening_sequence, whitening_slice
 from repro.errors import DecodingError
 
 
@@ -67,12 +68,40 @@ def _parse_payload_header(ptype: PacketType, bits: np.ndarray) -> tuple[int, int
     return llid, flow, length
 
 
-def encode_packet(packet: Packet, uap: int, clk: int) -> np.ndarray:
-    """Serialise a packet to its on-air bits."""
-    code = AccessCode(packet.lap)
-    if packet.ptype is PacketType.ID:
-        return code.id_bits()
+@lru_cache(maxsize=8192)
+def _encode_header_only(ptype: PacketType, lap: int, am_addr: int, flow: int,
+                        arqn: int, seqn: int, uap: int, whiten_seed: int) -> np.ndarray:
+    """Memoised air bits of a payload-less NULL/POLL packet.
 
+    The frame depends on the header fields, the UAP (HEC preload) and only
+    bits 6..1 of the clock (whitening seed) — a tiny key space that
+    inquiry/page/polling campaigns hammer.  The cached array is read-only;
+    the channel's noise stage copies before flipping bits.
+    """
+    packet = Packet(ptype=ptype, lap=lap, am_addr=am_addr, flow=flow,
+                    arqn=arqn, seqn=seqn)
+    header10 = packet.header_bits()
+    header18 = np.concatenate([header10, hec_compute(header10, uap)])
+    header_w = header18 ^ whitening_sequence(whiten_seed << 1, len(header18))
+    bits = np.concatenate([_full_bits_cached(lap), fec13_encode(header_w)])
+    bits.setflags(write=False)
+    return bits
+
+
+def encode_packet(packet: Packet, uap: int, clk: int) -> np.ndarray:
+    """Serialise a packet to its on-air bits.
+
+    Header-only packet types (ID, NULL, POLL) are served from per-field
+    caches and return read-only arrays — copy before mutating.
+    """
+    if packet.ptype is PacketType.ID:
+        return _id_bits_cached(packet.lap)
+    if packet.ptype in (PacketType.NULL, PacketType.POLL):
+        return _encode_header_only(
+            packet.ptype, packet.lap, packet.am_addr, packet.flow & 1,
+            packet.arqn & 1, packet.seqn & 1, uap & 0xFF, (clk >> 1) & 0x3F)
+
+    code = AccessCode(packet.lap)
     header10 = packet.header_bits()
     header18 = np.concatenate([header10, hec_compute(header10, uap)])
 
@@ -186,8 +215,7 @@ def decode_packet(
     fec13: Fec13Result = fec13_decode(header_air)
     payload_air = air_bits[ac.FULL_CODE_LEN + HEADER_AIR_BITS :]
 
-    white = whitening_sequence(clk, 18 + 2 * len(payload_air))  # ample length
-    header18 = fec13.bits ^ white[:18]
+    header18 = fec13.bits ^ whitening_sequence(clk, 18)
     header10, hec8 = header18[:10], header18[10:]
     if not hec_check(header10, hec8, uap):
         return DecodeResult(synced=True, header_ok=False, stage="header",
@@ -224,7 +252,9 @@ def decode_packet(
     else:
         body_w = payload_air
 
-    body = body_w ^ white[18 : 18 + len(body_w)]
+    # whiten exactly the post-FEC body: the whitening stream continues at
+    # bit 18 and the decoded body is len(body_w) bits (not 2x payload_air)
+    body = body_w ^ whitening_slice(clk, 18, len(body_w))
     result.stage = "payload"
 
     if ptype is PacketType.FHS:

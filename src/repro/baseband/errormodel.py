@@ -11,8 +11,8 @@ Cross-validated against the bit-accurate codec in
 
 from __future__ import annotations
 
+import math
 from functools import lru_cache
-from math import comb
 
 import numpy as np
 
@@ -21,11 +21,27 @@ from repro.baseband.packets import Fec, PacketType, payload_body_bits
 
 
 def binomial_tail_le(n: int, k: int, p: float) -> float:
-    """P(X <= k) for X ~ Binomial(n, p)."""
-    if p <= 0.0:
+    """P(X <= k) for X ~ Binomial(n, p).
+
+    Accumulates log-space terms with ``math.fsum``: the naive
+    ``comb(n, i) * p**i * q**(n-i)`` form overflows float conversion of the
+    huge exact binomial coefficients once n reaches DH5-payload bit counts
+    (n = 2745, see the regression test), and loses precision to underflow
+    at small p.
+    """
+    if p <= 0.0 or k >= n:
         return 1.0
-    q = 1.0 - p
-    return sum(comb(n, i) * (p ** i) * (q ** (n - i)) for i in range(0, k + 1))
+    if p >= 1.0:
+        return 0.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    lgn = math.lgamma(n + 1)
+    terms = [
+        math.exp(lgn - math.lgamma(i + 1) - math.lgamma(n - i + 1)
+                 + i * log_p + (n - i) * log_q)
+        for i in range(0, k + 1)
+    ]
+    return min(1.0, math.fsum(terms))
 
 
 @lru_cache(maxsize=4096)

@@ -7,6 +7,13 @@
   ``g(x) = x^5 + x^4 + x^2 + 1`` (octal 65); it corrects any single bit error
   per codeword and flags heavier damage via the syndrome. Used for FHS and
   DM packet payloads.
+
+Fast paths (bit-serial per-block originals retained in
+:mod:`repro.baseband.reference`): the encoder serves whole codewords from a
+1024-entry LUT (10 data bits -> 15-bit codeword row), and the decoder
+computes every codeword's syndrome in one GF(2) matrix product over the
+reshaped ``(-1, 15)`` stream, applying single-error corrections with fancy
+indexing instead of a per-block Python loop.
 """
 
 from __future__ import annotations
@@ -78,18 +85,52 @@ def _single_error_syndromes() -> dict[int, int]:
 _SYNDROME_TABLE = _single_error_syndromes()
 
 
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Encode LUT, parity-check matrix and syndrome->position lookup.
+
+    * encode LUT: row ``v`` is the systematic codeword of the 10-bit data
+      value ``v`` (bit 9 of ``v`` = first transmitted bit);
+    * H: (15, 5) GF(2) matrix whose row ``i`` is the syndrome of a single
+      error at stream position ``i`` (MSB-first bits), so that
+      ``codeword @ H % 2`` is the codeword's syndrome;
+    * position lookup: syndrome value -> error position, -1 when the
+      syndrome is not single-error correctable.
+    """
+    values = np.arange(1 << FEC23_DATA)
+    data_bits = ((values[:, None] >> np.arange(FEC23_DATA - 1, -1, -1)) & 1)
+    # parity is GF(2)-linear in the data: combine the 10 basis parities
+    basis = np.array(
+        [shift_divide(np.eye(FEC23_DATA, dtype=np.uint8)[j], FEC23_POLY, FEC23_DEGREE)
+         for j in range(FEC23_DATA)]
+    )
+    parity = np.zeros(1 << FEC23_DATA, dtype=np.int64)
+    for j in range(FEC23_DATA):
+        parity[data_bits[:, j] == 1] ^= basis[j]
+    encode = np.empty((1 << FEC23_DATA, FEC23_LEN), dtype=np.uint8)
+    encode[:, :FEC23_DATA] = data_bits
+    encode[:, FEC23_DATA:] = (
+        (parity[:, None] >> np.arange(FEC23_DEGREE - 1, -1, -1)) & 1
+    )
+    h = np.zeros((FEC23_LEN, FEC23_DEGREE), dtype=np.int64)
+    positions = np.full(1 << FEC23_DEGREE, -1, dtype=np.int64)
+    for syndrome, position in _SYNDROME_TABLE.items():
+        h[position] = (syndrome >> np.arange(FEC23_DEGREE - 1, -1, -1)) & 1
+        positions[syndrome] = position
+    positions[0] = -1  # syndrome 0 is "no error", handled separately
+    return encode, h, positions
+
+
+_ENCODE_LUT, _H, _SYNDROME_POSITIONS = _build_tables()
+_DATA_WEIGHTS = 1 << np.arange(FEC23_DATA - 1, -1, -1)
+_SYN_WEIGHTS = 1 << np.arange(FEC23_DEGREE - 1, -1, -1)
+
+
 def fec23_encode_block(data10: np.ndarray) -> np.ndarray:
     """Encode exactly 10 data bits into a systematic 15-bit codeword."""
     if len(data10) != FEC23_DATA:
         raise ValueError(f"FEC 2/3 block must be 10 bits, got {len(data10)}")
-    # shift_divide computes remainder(data * x^5), which is exactly the
-    # systematic parity: remainder((data||parity) * x^5) == 0 afterwards.
-    parity = shift_divide(data10, FEC23_POLY, FEC23_DEGREE)
-    codeword = np.empty(FEC23_LEN, dtype=np.uint8)
-    codeword[:FEC23_DATA] = data10
-    for i in range(FEC23_DEGREE):
-        codeword[FEC23_DATA + i] = (parity >> (FEC23_DEGREE - 1 - i)) & 1
-    return codeword
+    value = int(np.asarray(data10, dtype=np.int64) @ _DATA_WEIGHTS)
+    return _ENCODE_LUT[value].copy()
 
 
 @dataclass(frozen=True)
@@ -120,27 +161,29 @@ def fec23_encode(bits: np.ndarray) -> np.ndarray:
         bits = np.concatenate(
             [bits, np.zeros(FEC23_DATA - remainder, dtype=np.uint8)]
         )
-    blocks = bits.reshape(-1, FEC23_DATA)
-    return np.concatenate([fec23_encode_block(block) for block in blocks]) if len(blocks) else np.zeros(0, np.uint8)
+    if not len(bits):
+        return np.zeros(0, np.uint8)
+    values = bits.reshape(-1, FEC23_DATA).astype(np.int64) @ _DATA_WEIGHTS
+    return _ENCODE_LUT[values].reshape(-1)
 
 
 def fec23_decode(coded: np.ndarray) -> Fec23Result:
     """Decode a stream of 15-bit codewords, correcting single errors."""
     if len(coded) % FEC23_LEN != 0:
         raise ValueError(f"FEC 2/3 stream length {len(coded)} not divisible by 15")
-    corrected = 0
-    failed = 0
-    out_blocks = []
-    for block in coded.reshape(-1, FEC23_LEN):
-        syndrome = shift_divide(block, FEC23_POLY, FEC23_DEGREE)
-        block = block.copy()
-        if syndrome != 0:
-            position = _SYNDROME_TABLE.get(syndrome)
-            if position is None:
-                failed += 1
-            else:
-                block[position] ^= 1
-                corrected += 1
-        out_blocks.append(block[:FEC23_DATA])
-    bits = np.concatenate(out_blocks) if out_blocks else np.zeros(0, np.uint8)
-    return Fec23Result(bits=bits, corrected=corrected, failed=failed)
+    if not len(coded):
+        return Fec23Result(bits=np.zeros(0, np.uint8), corrected=0, failed=0)
+    blocks = coded.reshape(-1, FEC23_LEN)
+    syndromes = (blocks.astype(np.int64) @ _H % 2) @ _SYN_WEIGHTS
+    damaged = syndromes != 0
+    position = _SYNDROME_POSITIONS[syndromes]
+    correctable = damaged & (position >= 0)
+    corrected = int(np.count_nonzero(correctable))
+    failed = int(np.count_nonzero(damaged & (position < 0)))
+    data = blocks[:, :FEC23_DATA].astype(np.uint8)
+    if corrected:
+        rows = np.nonzero(correctable)[0]
+        cols = position[rows]
+        in_data = cols < FEC23_DATA
+        data[rows[in_data], cols[in_data]] ^= 1
+    return Fec23Result(bits=data.reshape(-1), corrected=corrected, failed=failed)

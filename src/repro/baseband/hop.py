@@ -44,6 +44,9 @@ CHANNEL_REGISTER = tuple(range(0, units.NUM_CHANNELS, 2)) + tuple(
     range(1, units.NUM_CHANNELS, 2)
 )
 
+_CHANNEL_REGISTER_ARRAY = np.array(CHANNEL_REGISTER, dtype=np.int64)
+_CHANNEL_REGISTER_ARRAY.setflags(write=False)
+
 #: PERM5 butterfly exchanges, 7 stages x 2, controlled by P13..P0.
 _BUTTERFLIES = (
     (1, 2), (3, 4),
@@ -68,6 +71,17 @@ def perm5(z: int, control: int) -> int:
     return z
 
 
+def perm5_many(z: np.ndarray, control: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`perm5` over aligned arrays of values and controls."""
+    z = np.asarray(z, dtype=np.int64) & 0x1F
+    control = np.asarray(control, dtype=np.int64)
+    for index, (i, j) in enumerate(_BUTTERFLIES):
+        enabled = (control >> index) & 1
+        differ = ((z >> i) ^ (z >> j)) & 1
+        z = z ^ ((enabled & differ) * ((1 << i) | (1 << j)))
+    return z
+
+
 def _bits(value: int, positions: tuple[int, ...]) -> int:
     """Pack the given bit positions of ``value`` (MSB of result first)."""
     out = 0
@@ -85,6 +99,11 @@ class HopSelector:
 
     def __init__(self, address: int):
         self.address = address & 0xFFFFFFF
+        # memo for the 32-phase page/scan/response kernels (the A..F inputs
+        # are address-fixed there, so each mode has at most 32 outputs);
+        # the connection kernel mixes clock bits into A/C/D/F and is served
+        # by the vectorized connection_many instead.
+        self._phase_memo: dict[tuple[str, int, int], int] = {}
 
     # -- derived address fields (spec notation A27..A0) --------------------
 
@@ -124,12 +143,19 @@ class HopSelector:
         """The 5-bit scan phase X = CLKN16-12 (redrawn every 1.28 s)."""
         return (clkn >> 12) & 0x1F
 
+    def _phase_select(self, mode: str, x: int, y1: int, y2: int) -> int:
+        """Memoised `_select` for the modes whose A..F are address-fixed."""
+        key = (mode, x, y2)
+        freq = self._phase_memo.get(key)
+        if freq is None:
+            freq = self._select(x=x, y1=y1, y2=y2, a=self._a, b=self._b,
+                                c=self._c, d=self._d, f=0)
+            self._phase_memo[key] = freq
+        return freq
+
     def page_scan(self, clkn: int) -> int:
         """Page-scan (or inquiry-scan, with the GIAC selector) frequency."""
-        return self._select(
-            x=self.scan_phase(clkn), y1=0, y2=0,
-            a=self._a, b=self._b, c=self._c, d=self._d, f=0,
-        )
+        return self._phase_select("scan", self.scan_phase(clkn), 0, 0)
 
     def train_phase(self, clke: int, koffset: int) -> int:
         """X of the page/inquiry hopping sequence for clock estimate CLKE."""
@@ -146,18 +172,12 @@ class HopSelector:
         it keeps the pager aligned with the scanner even though CLKE's low
         bits are phase-shifted against the master's slot grid.
         """
-        return self._select(
-            x=self.train_phase(clke, koffset), y1=0, y2=0,
-            a=self._a, b=self._b, c=self._c, d=self._d, f=0,
-        )
+        return self._phase_select("page", self.train_phase(clke, koffset), 0, 0)
 
     def response(self, phase: int, n: int = 0) -> int:
         """Slave-response / inquiry-response frequency paired with train
         phase ``phase``; ``n`` counts responses (spec's N register)."""
-        return self._select(
-            x=(phase + n) % 32, y1=1, y2=32,
-            a=self._a, b=self._b, c=self._c, d=self._d, f=0,
-        )
+        return self._phase_select("resp", (phase + n) % 32, 1, 32)
 
     def connection(self, clk: int) -> int:
         """Basic channel hopping in connection state at piconet clock CLK."""
@@ -168,6 +188,26 @@ class HopSelector:
         d = self._d ^ ((clk >> 7) & 0x1FF)
         f = (16 * ((clk >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
         return self._select(x=x, y1=y1, y2=32 * y1, a=a, b=self._b, c=c, d=d, f=f)
+
+    def connection_many(self, clks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`connection` over an array of clock values.
+
+        Exactly equivalent element-by-element (enforced by the fast-path
+        equivalence suite); used by the hop-uniformity diagnostics, which
+        evaluate the kernel over thousands of consecutive slots.
+        """
+        clks = np.asarray(clks, dtype=np.int64)
+        x = (clks >> 2) & 0x1F
+        y1 = (clks >> 1) & 1
+        a = self._a ^ ((clks >> 21) & 0x1F)
+        c = self._c ^ ((clks >> 16) & 0x1F)
+        d = self._d ^ ((clks >> 7) & 0x1FF)
+        f = (16 * ((clks >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
+        z1 = (x + a) % 32
+        z2 = z1 ^ (self._b & 0xF) ^ (y1 * 0b10000)
+        z3 = perm5_many(z2, (c << 9) | d)
+        index = (z3 + self._e + f + 32 * y1) % units.NUM_CHANNELS
+        return _CHANNEL_REGISTER_ARRAY[index]
 
     def train_frequencies(self, clke: int, koffset: int) -> list[int]:
         """The 16 distinct frequencies the train sweeps around ``clke``:
@@ -193,8 +233,6 @@ def inquiry_selector() -> HopSelector:
 def channel_distribution(selector: HopSelector, clk_start: int, samples: int) -> np.ndarray:
     """Histogram of connection-mode channels over ``samples`` consecutive
     even slots (diagnostic / property-test helper)."""
-    counts = np.zeros(units.NUM_CHANNELS, dtype=np.int64)
-    for k in range(samples):
-        clk = clk_start + 4 * k
-        counts[selector.connection(clk)] += 1
-    return counts
+    clks = clk_start + 4 * np.arange(samples, dtype=np.int64)
+    return np.bincount(selector.connection_many(clks),
+                       minlength=units.NUM_CHANNELS).astype(np.int64)

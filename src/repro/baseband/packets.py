@@ -10,6 +10,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -195,6 +196,7 @@ def payload_body_bits(ptype: PacketType, payload_len: int) -> int:
     return 8 * total_bytes
 
 
+@lru_cache(maxsize=8192)
 def packet_air_bits(ptype: PacketType, payload_len: int = 0) -> int:
     """Total transmitted bits (access code + header + encoded payload)."""
     if ptype is PacketType.ID:

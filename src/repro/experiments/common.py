@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -26,8 +27,22 @@ PAPER_BER_GRID: list[tuple[float, str]] = [
 ]
 
 
+#: Environment switch: run every experiment's channel in bit-accurate mode
+#: (full air-frame encode/decode + per-bit noise) instead of the statistical
+#: per-stage error model.  Worker processes inherit it, so parallel runs
+#: stay consistent.
+BIT_ACCURATE_ENV_VAR = "REPRO_BIT_ACCURATE"
+
+
+def bit_accurate_default() -> bool:
+    """True when REPRO_BIT_ACCURATE selects bit-accurate experiment runs."""
+    value = os.environ.get(BIT_ACCURATE_ENV_VAR, "")
+    return value.strip().lower() not in ("", "0", "false", "off", "no")
+
+
 def paper_config(ber: float = 0.0, seed: int = 0,
                  sync_threshold: Optional[int] = None,
+                 bit_accurate: Optional[bool] = None,
                  **link_overrides) -> SimulationConfig:
     """A SimulationConfig matching the paper's setup.
 
@@ -36,8 +51,13 @@ def paper_config(ber: float = 0.0, seed: int = 0,
     because the paper's behavioural receiver compares access codes
     bit-exactly — that is what makes its page phase collapse at high BER
     (see EXPERIMENTS.md and the ablation_correlator bench).
+
+    ``bit_accurate``: None consults the ``REPRO_BIT_ACCURATE`` environment
+    variable (default off, the statistical per-stage channel).
     """
-    config = SimulationConfig(seed=seed).with_ber(ber)
+    if bit_accurate is None:
+        bit_accurate = bit_accurate_default()
+    config = SimulationConfig(seed=seed, bit_accurate=bit_accurate).with_ber(ber)
     overrides = dict(link_overrides)
     if sync_threshold is not None:
         overrides["sync_threshold"] = sync_threshold

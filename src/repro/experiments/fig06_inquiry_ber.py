@@ -26,6 +26,7 @@ from repro.api import Session
 from repro.experiments.common import (
     PAPER_BER_GRID,
     ExperimentResult,
+    bit_accurate_default,
     paper_config,
     run_sweep,
 )
@@ -65,7 +66,8 @@ def run(trials: int = 12, seed: int = 1,
         headers=["BER", "mean TS", "ci95", "completed"],
         paper_expectation="1556 TS at BER 0, mild growth to ~1800 TS at 1/30",
         notes=(f"unconditional mean, {EXTENDED_TIMEOUT_SLOTS}-slot guard, "
-               f"{trials} trials/point; spec correlator (threshold 7)"),
+               f"{trials} trials/point; spec correlator (threshold 7)"
+               + ("; bit-accurate channel" if bit_accurate_default() else "")),
     )
     for point in points:
         result.rows.append([

@@ -138,9 +138,12 @@ class InquiryProcedure:
         freq2 = self.selector.page(clkn, self.koffset)
         self._send_id(freq2, self._k2)
 
+    #: ID packets are immutable on the air path; one shared instance avoids
+    #: a dataclass construction per inquiry half-slot.
+    _ID_PACKET = Packet(ptype=PacketType.ID, lap=GIAC_LAP)
+
     def _send_id(self, freq: int, phase: int) -> None:
-        packet = Packet(ptype=PacketType.ID, lap=GIAC_LAP)
-        self.device.rf.transmit(freq, packet,
+        self.device.rf.transmit(freq, self._ID_PACKET,
                                 meta=TxMeta(hop_phase=phase, purpose="inquiry_id"))
         self.id_transmissions += 1
 

@@ -243,7 +243,11 @@ class Channel(Module):
         threshold = self._threshold_for(tx.packet)
         if self.config.bit_accurate:
             assert tx.air_bits is not None
-            noisy = flip_bits(tx.air_bits, self.noise.error_positions(len(tx.air_bits)))
+            positions = self.noise.error_positions(len(tx.air_bits))
+            # no errors drawn (always at BER 0): decode the frame as-is —
+            # decode_packet never mutates its input, so skip the copy
+            noisy = (flip_bits(tx.air_bits, positions) if len(positions)
+                     else tx.air_bits)
             return decode_packet(noisy, expect.lap, tx.tx_uap, tx.tx_clk,
                                  sync_threshold=threshold)
         packet = tx.packet

@@ -12,12 +12,17 @@ from repro.sim.event import EventHandle, ScheduledEvent
 class EventQueue:
     """Priority queue ordered by ``(time_ns, delta, sequence)``.
 
+    Heap entries are ``(time_ns, delta, sequence, event)`` tuples: the
+    unique, monotonically increasing sequence number breaks every tie, so
+    heap comparisons resolve entirely inside the C tuple comparison and
+    never reach the event object.
+
     Cancelled events stay in the heap and are skipped on pop (lazy deletion),
     which keeps cancellation O(1).
     """
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[int, int, int, ScheduledEvent]] = []
         self._sequence = 0
         self._live = 0
 
@@ -30,7 +35,7 @@ class EventQueue:
             raise SimulationError(f"cannot schedule at negative time {time_ns}")
         self._sequence += 1
         event = ScheduledEvent(time_ns, delta, self._sequence, callback)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time_ns, delta, self._sequence, event))
         self._live += 1
         return EventHandle(event)
 
@@ -38,7 +43,7 @@ class EventQueue:
         """Remove and return the earliest live event, or None when empty."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -49,12 +54,12 @@ class EventQueue:
     def peek_time(self) -> Optional[tuple[int, int]]:
         """Return (time_ns, delta) of the earliest live event without popping."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
         if not heap:
             self._live = 0
             return None
-        return (heap[0].time_ns, heap[0].delta)
+        return (heap[0][0], heap[0][1])
 
     def clear(self) -> None:
         """Drop every pending event."""

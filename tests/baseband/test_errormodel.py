@@ -22,6 +22,27 @@ class TestClosedForm:
         assert binomial_tail_le(10, 0, 0.0) == pytest.approx(1.0)
         assert binomial_tail_le(10, 0, 0.5) == pytest.approx(0.5 ** 10)
 
+    def test_binomial_tail_long_dh5_payload_regression(self):
+        """n = 2745 (a max DH5 air payload in bits): the pre-log-space
+        implementation overflowed converting comb(2745, k) to float."""
+        n, p = 2745, 1e-5
+        assert binomial_tail_le(n, 0, p) == pytest.approx((1 - p) ** n)
+        mid = binomial_tail_le(n, n // 2, p)
+        assert 0.0 <= mid <= 1.0
+        assert mid == pytest.approx(1.0)  # k >> n*p: essentially certain
+        assert binomial_tail_le(n, n, p) == 1.0
+        # monotone non-decreasing in k across the interesting range
+        values = [binomial_tail_le(n, k, 1 / 30) for k in (0, 10, 50, 91, 200, n)]
+        assert values == sorted(values)
+
+    def test_binomial_tail_agrees_with_exact_small_n(self):
+        from math import comb
+
+        for n, k, p in ((12, 4, 0.2), (30, 7, 1 / 30), (64, 7, 0.05)):
+            exact = sum(comb(n, i) * p ** i * (1 - p) ** (n - i)
+                        for i in range(k + 1))
+            assert binomial_tail_le(n, k, p) == pytest.approx(exact, rel=1e-12)
+
     def test_sync_detect_monotone_in_threshold(self):
         values = [p_sync_detect(0.02, t) for t in range(0, 12, 2)]
         assert values == sorted(values)
