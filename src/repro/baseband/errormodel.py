@@ -94,11 +94,41 @@ class StageErrorModel:
 
     One instance per channel; stateless apart from the RNG, so all devices
     share it.
+
+    The channel's framed-packet hot path uses :meth:`sample_stages`, which
+    performs the sync → header → payload draw chain in one call with all
+    stage probabilities precomputed at construction — the per-call
+    ``lru_cache`` lookups and probability recomputations of the separate
+    samplers were measurable kernel overhead in piconet campaigns.  The
+    draw sequence (including the early exits) is bit-identical to calling
+    the individual samplers, so outcomes do not change.
     """
 
     def __init__(self, ber: float, rng: np.random.Generator):
         self.ber = float(ber)
         self._rng = rng
+        self._binomial = rng.binomial
+        # precomputed stage parameters (the BER is fixed per channel)
+        self._residual_header = p_bit_after_fec13(self.ber)
+        self._p_codeword_fail = 1.0 - p_codeword_ok(self.ber)
+        # (ptype, payload_len) -> payload draw params: None for stages that
+        # always pass, else (n, p) of the binomial whose zero event is "ok"
+        self._payload_params: dict = {}
+
+    def _payload_draw(self, ptype: PacketType, payload_len: int):
+        key = (ptype, payload_len)
+        params = self._payload_params.get(key, _MISSING)
+        if params is _MISSING:
+            if ptype in (PacketType.ID, PacketType.NULL, PacketType.POLL):
+                params = None
+            else:
+                body = payload_body_bits(ptype, payload_len)
+                if ptype.info.fec is Fec.RATE_23:
+                    params = (-(-body // 10), self._p_codeword_fail)
+                else:
+                    params = (body, self.ber)
+            self._payload_params[key] = params
+        return params
 
     # -- samplers ------------------------------------------------------------
 
@@ -106,25 +136,44 @@ class StageErrorModel:
         """Does the sync word pass the correlator?"""
         if self.ber == 0.0:
             return True
-        errors = self._rng.binomial(SYNC_LEN, self.ber)
+        errors = self._binomial(SYNC_LEN, self.ber)
         return bool(errors <= threshold)
 
     def sample_header(self) -> bool:
         """Do all 18 header bits survive FEC 1/3 + HEC?"""
         if self.ber == 0.0:
             return True
-        residual = p_bit_after_fec13(self.ber)
-        return bool(self._rng.binomial(18, residual) == 0)
+        return bool(self._binomial(18, self._residual_header) == 0)
 
     def sample_payload(self, ptype: PacketType, payload_len: int) -> bool:
         """Does the payload stage succeed (FEC + CRC)?"""
         if self.ber == 0.0:
             return True
-        if ptype in (PacketType.ID, PacketType.NULL, PacketType.POLL):
+        params = self._payload_draw(ptype, payload_len)
+        if params is None:
             return True
-        body = payload_body_bits(ptype, payload_len)
-        if ptype.info.fec is Fec.RATE_23:
-            n_codewords = -(-body // 10)
-            p_fail = 1.0 - p_codeword_ok(self.ber)
-            return bool(self._rng.binomial(n_codewords, p_fail) == 0)
-        return bool(self._rng.binomial(body, self.ber) == 0)
+        return bool(self._binomial(params[0], params[1]) == 0)
+
+    def sample_stages(self, ptype: PacketType, payload_len: int,
+                      threshold: int = 7) -> tuple[bool, bool, bool]:
+        """Draw (synced, header_ok, payload_ok) for one framed packet.
+
+        Stages short-circuit exactly like the individual samplers do in
+        sequence, consuming the same RNG variates in the same order, so a
+        batch run is byte-identical to the unbatched one.
+        """
+        if self.ber == 0.0:
+            return True, True, True
+        binomial = self._binomial
+        ber = self.ber
+        if binomial(SYNC_LEN, ber) > threshold:
+            return False, False, False
+        if binomial(18, self._residual_header) != 0:
+            return True, False, False
+        params = self._payload_draw(ptype, payload_len)
+        if params is None:
+            return True, True, True
+        return True, True, bool(binomial(params[0], params[1]) == 0)
+
+
+_MISSING = object()

@@ -97,13 +97,34 @@ class HopSelector:
     access), the paged device (page mode) or the GIAC/DIAC (inquiry modes).
     """
 
+    #: Shared per-address connection memos: every member of a piconet holds
+    #: a selector bound to the *master's* hop address, so master and slaves
+    #: all evaluate the identical (address, clk) kernel each slot.  Sharing
+    #: the memo computes each slot's frequency once per piconet rather than
+    #: once per device.  Bounded: cleared when it reaches _MEMO_MAX entries
+    #: (the kernel mixes clock bits up to CLK26, so there is no small cycle
+    #: to exploit).
+    _connection_memos: dict[int, dict[int, int]] = {}
+    _MEMO_MAX = 1 << 15
+
     def __init__(self, address: int):
         self.address = address & 0xFFFFFFF
         # memo for the 32-phase page/scan/response kernels (the A..F inputs
         # are address-fixed there, so each mode has at most 32 outputs);
         # the connection kernel mixes clock bits into A/C/D/F and is served
-        # by the vectorized connection_many instead.
+        # by the vectorized connection_many for bulk queries and by the
+        # shared per-address memo for the slot-by-slot simulation path.
         self._phase_memo: dict[tuple[str, int, int], int] = {}
+        # Monte-Carlo campaigns draw fresh addresses per trial, so the
+        # registry of shared memos is bounded as well: at 64 addresses the
+        # whole registry is dropped (live selectors keep their own dicts)
+        memos = self._connection_memos
+        memo = memos.get(self.address)
+        if memo is None:
+            if len(memos) >= 64:
+                memos.clear()
+            memo = memos[self.address] = {}
+        self._connection_memo = memo
 
     # -- derived address fields (spec notation A27..A0) --------------------
 
@@ -181,13 +202,21 @@ class HopSelector:
 
     def connection(self, clk: int) -> int:
         """Basic channel hopping in connection state at piconet clock CLK."""
-        x = (clk >> 2) & 0x1F
-        y1 = (clk >> 1) & 1
-        a = self._a ^ ((clk >> 21) & 0x1F)
-        c = self._c ^ ((clk >> 16) & 0x1F)
-        d = self._d ^ ((clk >> 7) & 0x1FF)
-        f = (16 * ((clk >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
-        return self._select(x=x, y1=y1, y2=32 * y1, a=a, b=self._b, c=c, d=d, f=f)
+        memo = self._connection_memo
+        freq = memo.get(clk)
+        if freq is None:
+            x = (clk >> 2) & 0x1F
+            y1 = (clk >> 1) & 1
+            a = self._a ^ ((clk >> 21) & 0x1F)
+            c = self._c ^ ((clk >> 16) & 0x1F)
+            d = self._d ^ ((clk >> 7) & 0x1FF)
+            f = (16 * ((clk >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
+            freq = self._select(x=x, y1=y1, y2=32 * y1, a=a, b=self._b,
+                                c=c, d=d, f=f)
+            if len(memo) >= self._MEMO_MAX:
+                memo.clear()
+            memo[clk] = freq
+        return freq
 
     def connection_many(self, clks: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`connection` over an array of clock values.

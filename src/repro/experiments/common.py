@@ -10,7 +10,7 @@ from typing import Callable, Optional
 from repro.config import SimulationConfig
 from repro.stats.executor import Executor, get_executor
 from repro.stats.montecarlo import TrialOutcome
-from repro.stats.sweep import Sweep, SweepPoint
+from repro.stats.sweep import Sweep, SweepPoint, run_flattened
 from repro.stats.tables import format_table
 
 #: The paper's BER grid (Figs. 6-8): 1/100 to 1/30, plus a zero-noise point.
@@ -71,21 +71,47 @@ def run_sweep(seed: int, trials: int, xs: list[tuple[float, str]],
               trial_fn: Callable[[float, int], TrialOutcome],
               jobs: Optional[int] = None,
               legacy_seeds: bool = False,
-              executor: Optional[Executor] = None) -> list[SweepPoint]:
-    """Run the standard per-point Monte-Carlo sweep of an experiment.
+              executor: Optional[Executor] = None,
+              dispatch: str = "flat") -> list[SweepPoint]:
+    """Run the standard Monte-Carlo sweep of an experiment.
 
     ``jobs`` picks the execution backend (``REPRO_JOBS`` overrides, 1 =
     sequential); the outcome lists are identical at any job count because
     every trial is a pure function of its derived seed.  Pass ``executor``
     instead to share one worker pool across several sweeps (the caller
-    then owns its lifetime).
+    then owns its lifetime).  ``dispatch`` selects the flattened work
+    queue (default) or the legacy per-point loop — results are identical,
+    only the barrier structure differs (see :mod:`repro.stats.sweep`).
     """
     sweep = Sweep(master_seed=seed, trials_per_point=trials,
                   legacy_seeds=legacy_seeds)
     if executor is not None:
-        return sweep.run(xs, trial_fn, executor=executor)
+        return sweep.run(xs, trial_fn, executor=executor, dispatch=dispatch)
     with get_executor(jobs) as owned:
-        return sweep.run(xs, trial_fn, executor=owned)
+        return sweep.run(xs, trial_fn, executor=owned, dispatch=dispatch)
+
+
+def run_sweeps(specs: list[tuple[int, int, list[tuple[float, str]],
+                                 Callable[[float, int], TrialOutcome]]],
+               jobs: Optional[int] = None,
+               legacy_seeds: bool = False,
+               executor: Optional[Executor] = None,
+               ) -> list[list[SweepPoint]]:
+    """Run several sweeps as one flattened work queue.
+
+    ``specs`` is a list of ``(seed, trials, xs, trial_fn)`` tuples.  All
+    sweeps' (point, trial) tasks go to the pool as a single ordered grid,
+    so neither point boundaries nor sweep boundaries act as join barriers
+    (Fig. 8 uses this for its inquiry + page pair).  Results are
+    byte-identical to running each sweep separately.
+    """
+    sweeps = [(Sweep(master_seed=seed, trials_per_point=trials,
+                     legacy_seeds=legacy_seeds), xs, trial_fn)
+              for seed, trials, xs, trial_fn in specs]
+    if executor is not None:
+        return run_flattened(sweeps, executor)
+    with get_executor(jobs) as owned:
+        return run_flattened(sweeps, owned)
 
 
 @dataclass

@@ -17,9 +17,8 @@ from repro.experiments.common import (
     PAPER_BER_GRID,
     ExperimentResult,
     paper_config,
-    run_sweep,
+    run_sweeps,
 )
-from repro.stats.executor import get_executor
 from repro.stats.montecarlo import TrialOutcome, default_trials
 
 TIMEOUT_SLOTS = 2048  # 1.28 s
@@ -57,11 +56,12 @@ def run(trials: int = 24, seed: int = 3,
     the paper calls page the bottleneck.
     """
     trials = default_trials(trials)
-    with get_executor(jobs) as executor:  # one pool for both sweeps
-        inquiry_points = run_sweep(seed, trials, PAPER_BER_GRID,
-                                   inquiry_trial, executor=executor)
-        page_points = run_sweep(seed + 1, trials, PAPER_BER_GRID,
-                                page_trial, executor=executor)
+    # both phases flatten into one work queue: no join barrier between the
+    # inquiry and page sweeps (nor between their points)
+    inquiry_points, page_points = run_sweeps(
+        [(seed, trials, PAPER_BER_GRID, inquiry_trial),
+         (seed + 1, trials, PAPER_BER_GRID, page_trial)],
+        jobs=jobs)
 
     result = ExperimentResult(
         experiment_id="fig08",

@@ -20,11 +20,27 @@ Responsibilities:
 The decode outcome for a (transmission, listener) pair is drawn **once**, at
 the sync stage, and revealed progressively — so the staged view is always
 self-consistent.
+
+Hot-path structure (the many-device piconet campaigns dispatch hundreds of
+thousands of these per second):
+
+* Listener lookup is indexed by RF channel: radios report tuning changes
+  via :meth:`Channel.listener_retuned`, so a transmission only visits the
+  radios tuned to (or frequency-following onto) its own channel — O(radios
+  on channel), not O(all radios).  Candidates are visited in attach order,
+  which keeps event sequence numbers — and therefore every outcome —
+  identical to the full-walk implementation.
+* Live transmissions and pending decodes are keyed dicts with per-radio
+  indexes, so expiry and :meth:`abort_reception` are O(1) instead of
+  identity/key scans.
+* Stage callbacks are ``functools.partial`` bindings of bound methods, not
+  capturing lambdas — no closure-cell allocation per scheduled stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.baseband.codec import DecodeResult, decode_packet, encode_packet
 from repro.baseband.errormodel import StageErrorModel
@@ -39,6 +55,10 @@ from repro.phy.transmission import Transmission, TxMeta
 from repro.sim.module import Module
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
+
+#: Registry key of a frequency-following receiver (its tuned channel is a
+#: function of time, so it is a candidate for every transmission).
+_FOLLOWING = -1
 
 
 @dataclass
@@ -72,8 +92,16 @@ class Channel(Module):
         super().__init__(sim, name, parent=None)
         self.config = config
         self.radios: list[RfFrontEnd] = []
-        self._active_by_freq: dict[int, list[Transmission]] = {}
+        # live transmissions per RF channel, keyed by id(tx) for O(1) expiry
+        self._active_by_freq: dict[int, dict[int, Transmission]] = {}
         self._pending: dict[tuple[int, int], DecodeResult] = {}
+        # per-radio index over _pending keys: abort_reception is O(own keys)
+        self._pending_by_radio: dict[int, set[tuple[int, int]]] = {}
+        # tuning registry: RF channel -> {id(radio): radio}; following
+        # receivers are kept apart (their channel is evaluated on demand)
+        self._tuned_by_freq: dict[int, dict[int, RfFrontEnd]] = {}
+        self._following: dict[int, RfFrontEnd] = {}
+        self._listen_keys: dict[int, int | None] = {}
         noise_rng = rngs.stream("channel.noise")
         if config.noise.burst_avg_len > 1.0:
             self.noise: NoiseModel = GilbertElliottNoise(
@@ -91,13 +119,43 @@ class Channel(Module):
         """Register a radio on the medium."""
         if radio in self.radios:
             raise ChannelError(f"radio {radio.path} attached twice")
+        radio.attach_index = len(self.radios)
         self.radios.append(radio)
+        self._listen_keys[id(radio)] = None
+
+    def listener_retuned(self, radio: RfFrontEnd) -> None:
+        """Sync the tuning registry with ``radio``'s current receiver state.
+
+        The RF front-end calls this after every ``rx_on`` / ``rx_retune`` /
+        ``rx_off`` transition; the registry is what :meth:`_scan_listeners`
+        indexes instead of walking every attached radio.
+        """
+        rid = id(radio)
+        if radio.rx_freq_fn is not None:
+            new: int | None = _FOLLOWING
+        else:
+            new = radio.rx_freq
+        old = self._listen_keys.get(rid)
+        if new == old:
+            return
+        if old == _FOLLOWING:
+            self._following.pop(rid, None)
+        elif old is not None:
+            bucket = self._tuned_by_freq.get(old)
+            if bucket is not None:
+                bucket.pop(rid, None)
+        if new == _FOLLOWING:
+            self._following[rid] = radio
+        elif new is not None:
+            self._tuned_by_freq.setdefault(new, {})[rid] = radio
+        self._listen_keys[rid] = new
 
     def abort_reception(self, radio: RfFrontEnd) -> None:
         """A radio powered down mid-lock; drop its pending decodes."""
-        stale = [key for key in self._pending if key[1] == id(radio)]
-        for key in stale:
-            del self._pending[key]
+        keys = self._pending_by_radio.pop(id(radio), None)
+        if keys:
+            for key in keys:
+                self._pending.pop(key, None)
 
     # ------------------------------------------------------------------
     # Transmit path
@@ -124,41 +182,56 @@ class Channel(Module):
         self.transmissions += 1
 
         # collision resolution: any live overlap on the same frequency
-        live = [t for t in self._active_by_freq.get(freq, []) if t.end_ns > now]
-        for other in live:
+        live = self._active_by_freq.setdefault(freq, {})
+        for other in live.values():
+            if other.end_ns <= now:  # expiry event not yet fired
+                continue
             other.corrupted = True
             tx.corrupted = True
             self.collisions += 1
-        live.append(tx)
-        self._active_by_freq[freq] = live
+        live[id(tx)] = tx
 
         # Scan for listeners one delta cycle later, so that receivers being
         # retuned/opened by other events at this same instant (e.g. a slave
         # hopping at the slot boundary the master transmits on) are seen in
         # their settled state. Physical timing is unaffected: the sync stage
         # is 68 us away.
-        self.sim.schedule_delta(lambda: self._scan_listeners(tx))
-        self.sim.schedule_abs(now + tx.duration_ns, lambda: self._expire(tx))
+        self.sim.schedule_delta(partial(self._scan_listeners, tx))
+        self.sim.schedule_abs(now + tx.duration_ns, partial(self._expire, tx))
         return tx
 
     def _scan_listeners(self, tx: Transmission) -> None:
+        fixed = self._tuned_by_freq.get(tx.freq)
+        if fixed:
+            candidates = list(fixed.values())
+            if self._following:
+                candidates.extend(self._following.values())
+        elif self._following:
+            candidates = list(self._following.values())
+        else:
+            return
+        if len(candidates) > 1:
+            # registry dicts are in retune order; visiting in attach order
+            # keeps stage-event sequence numbers (and so every downstream
+            # outcome) identical to the full-radio-walk implementation
+            candidates.sort(key=_attach_index)
         delay = self.config.rf.modem_delay_ns
-        for listener in self.radios:
+        sync_time = tx.start_ns + delay + SYNC_DECISION_NS
+        carrier_sense = self.config.rf.carrier_sense
+        for listener in candidates:
             if listener is tx.radio or not listener.rx_open or listener.tx_busy:
                 continue
             if not listener.tuned_to(tx.freq):
                 continue
-            if self.config.rf.carrier_sense:
+            if carrier_sense:
                 listener.carrier_detected(tx)
             self.sim.schedule_abs(
-                tx.start_ns + delay + SYNC_DECISION_NS,
-                lambda tx=tx, listener=listener: self._sync_stage(tx, listener),
-            )
+                sync_time, partial(self._sync_stage, tx, listener))
 
     def _expire(self, tx: Transmission) -> None:
-        live = self._active_by_freq.get(tx.freq, [])
-        if tx in live:
-            live.remove(tx)
+        live = self._active_by_freq.get(tx.freq)
+        if live is not None:
+            live.pop(id(tx), None)
 
     # ------------------------------------------------------------------
     # Receive path (staged)
@@ -182,12 +255,23 @@ class Channel(Module):
             return
         if not (matched and listener.locked_tx is tx):
             return  # listener declined or sync failed; no further stages
-        self._pending[(id(tx), id(listener))] = result
+        key = (id(tx), id(listener))
+        self._pending[key] = result
+        self._pending_by_radio.setdefault(id(listener), set()).add(key)
         delay = self.config.rf.modem_delay_ns
         self.sim.schedule_abs(
             tx.start_ns + delay + HEADER_DECISION_NS,
-            lambda: self._header_stage(tx, listener),
-        )
+            partial(self._header_stage, tx, listener))
+
+    def _pop_pending(self, tx: Transmission,
+                     listener: RfFrontEnd) -> DecodeResult | None:
+        key = (id(tx), id(listener))
+        result = self._pending.pop(key, None)
+        if result is not None:
+            keys = self._pending_by_radio.get(id(listener))
+            if keys is not None:
+                keys.discard(key)
+        return result
 
     def _header_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
         result = self._pending.get((id(tx), id(listener)))
@@ -200,17 +284,15 @@ class Channel(Module):
         if listener.listener is not None and hasattr(listener.listener, "on_header"):
             keep = bool(listener.listener.on_header(tx, result.header_ok and not tx.corrupted, am_addr))
         if not keep:
-            self._pending.pop((id(tx), id(listener)), None)
+            self._pop_pending(tx, listener)
             listener.locked_tx = None
             return
         delay = self.config.rf.modem_delay_ns
         self.sim.schedule_abs(
-            tx.end_ns + delay,
-            lambda: self._end_stage(tx, listener),
-        )
+            tx.end_ns + delay, partial(self._end_stage, tx, listener))
 
     def _end_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
-        result = self._pending.pop((id(tx), id(listener)), None)
+        result = self._pop_pending(tx, listener)
         if result is None or listener.locked_tx is not tx:
             return
         self._deliver_end(tx, listener, result)
@@ -251,23 +333,30 @@ class Channel(Module):
             return decode_packet(noisy, expect.lap, tx.tx_uap, tx.tx_clk,
                                  sync_threshold=threshold)
         packet = tx.packet
-        if not self.stage_model.sample_sync(threshold):
-            return DecodeResult(synced=False, stage="sync")
         if packet.ptype is PacketType.ID:
+            if not self.stage_model.sample_sync(threshold):
+                return DecodeResult(synced=False, stage="sync")
             return DecodeResult(synced=True, header_ok=True, payload_ok=True,
                                 packet=Packet(ptype=PacketType.ID, lap=packet.lap),
                                 stage="payload")
-        if not self.stage_model.sample_header():
+        # one batched call per framed packet: same draw sequence as the
+        # separate sample_sync/sample_header/sample_payload chain
+        synced, header_ok, payload_ok = self.stage_model.sample_stages(
+            packet.ptype, len(packet.payload), threshold)
+        if not synced:
+            return DecodeResult(synced=False, stage="sync")
+        if not header_ok:
             return DecodeResult(synced=True, header_ok=False, stage="header")
-        if not self.stage_model.sample_payload(packet.ptype, len(packet.payload)):
-            result = DecodeResult(synced=True, header_ok=True, payload_ok=False,
-                                  packet=packet, stage="payload")
-        else:
-            result = DecodeResult(synced=True, header_ok=True, payload_ok=True,
-                                  packet=packet, stage="payload")
+        result = DecodeResult(synced=True, header_ok=True,
+                              payload_ok=payload_ok, packet=packet,
+                              stage="payload")
         result.set_header_fields(packet.am_addr, packet.ptype.info.code,
                                  packet.arqn, packet.seqn)
         return result
+
+
+def _attach_index(radio: RfFrontEnd) -> int:
+    return radio.attach_index
 
 
 def _whiten_clk(packet: Packet, radio: RfFrontEnd, now_ns: int) -> int:

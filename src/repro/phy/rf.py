@@ -60,6 +60,7 @@ class RfFrontEnd(Module):
         self.expect: Optional[RxExpect] = None
         self.locked_tx: Optional["Transmission"] = None
         self.listener = None  # set by the link controller
+        self.attach_index = -1  # assigned by Channel.attach
         self._tx_until_ns = -1
         channel.attach(self)
 
@@ -98,6 +99,7 @@ class RfFrontEnd(Module):
         self.rx_freq = freq
         self.rx_freq_fn = None
         self.expect = expect
+        self.channel.listener_retuned(self)
         self.enable_rx.write(True)
 
     def rx_on_follow(self, freq_fn: Callable[[], int], expect: RxExpect) -> None:
@@ -109,6 +111,7 @@ class RfFrontEnd(Module):
         self.rx_freq = None
         self.rx_freq_fn = freq_fn
         self.expect = expect
+        self.channel.listener_retuned(self)
         self.enable_rx.write(True)
 
     def rx_retune(self, freq: int, expect: Optional[RxExpect] = None) -> None:
@@ -118,6 +121,7 @@ class RfFrontEnd(Module):
         self.rx_freq = freq
         if expect is not None:
             self.expect = expect
+        self.channel.listener_retuned(self)
 
     def rx_off(self) -> None:
         """Power the receiver down (aborts any in-progress lock)."""
@@ -126,6 +130,7 @@ class RfFrontEnd(Module):
         self.rx_freq = None
         self.rx_freq_fn = None
         self.locked_tx = None
+        self.channel.listener_retuned(self)
         self.enable_rx.write(False)
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.phy.rf import RfFrontEnd
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxMeta:
     """Side information the link layer attaches to a transmission.
 
@@ -30,9 +30,12 @@ class TxMeta:
     purpose: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One packet on the air.
+
+    Slotted: piconet campaigns allocate one of these per packet on the
+    air, so the per-instance ``__dict__`` is measurable kernel overhead.
 
     Attributes:
         radio: the transmitting RF front-end.

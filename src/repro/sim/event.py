@@ -13,12 +13,19 @@ from typing import Callable
 
 
 class ScheduledEvent:
-    """Internal heap payload. Use :class:`EventHandle` to cancel from outside.
+    """One scheduled callback; doubles as its own cancellation handle.
 
     Events carry no ordering of their own: the queue orders C-comparable
     ``(time_ns, delta, sequence)`` tuple keys, so heap sifting never calls
     back into Python (the dataclass-generated ``__lt__`` this replaces was
     the hottest function of bit-accurate Monte-Carlo runs).
+
+    The scheduling entry points hand the event straight back to the caller
+    as the cancellation token — a separate wrapper object per scheduled
+    event (the previous ``EventHandle``) cost one allocation on the
+    kernel's hottest path.  Cancellation stays cheap and safe: cancelling
+    an event that already fired (or cancelling twice) is a no-op returning
+    False.
     """
 
     __slots__ = ("time_ns", "delta", "sequence", "callback", "cancelled")
@@ -31,37 +38,23 @@ class ScheduledEvent:
         self.callback = callback
         self.cancelled = False
 
-
-class EventHandle:
-    """A cancellation token for a scheduled event.
-
-    Handles are cheap and safe: cancelling an event that already fired (or
-    cancelling twice) is a no-op that returns False.
-    """
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: ScheduledEvent):
-        self._event = event
-
     def cancel(self) -> bool:
         """Prevent the event from firing. Returns True if it was pending."""
-        event = self._event
-        if event.cancelled or event.callback is _FIRED:
+        if self.cancelled or self.callback is _FIRED:
             return False
-        event.cancelled = True
+        self.cancelled = True
         return True
 
     @property
     def pending(self) -> bool:
         """True while the event is scheduled and not cancelled."""
-        event = self._event
-        return not event.cancelled and event.callback is not _FIRED
+        return not self.cancelled and self.callback is not _FIRED
 
-    @property
-    def time_ns(self) -> int:
-        """Absolute firing time of the event."""
-        return self._event.time_ns
+
+#: Back-compat alias: the scheduling API used to return a wrapper class of
+#: this name; the event object itself now implements the same interface
+#: (``cancel()``, ``pending``, ``time_ns``).
+EventHandle = ScheduledEvent
 
 
 def _FIRED() -> None:  # sentinel callback installed after dispatch

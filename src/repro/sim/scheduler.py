@@ -30,14 +30,16 @@ class EventQueue:
         return self._live
 
     def push(self, time_ns: int, delta: int, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute time ``time_ns``, delta ``delta``."""
+        """Schedule ``callback`` at absolute time ``time_ns``, delta ``delta``.
+
+        The returned event is its own cancellation handle."""
         if time_ns < 0:
             raise SimulationError(f"cannot schedule at negative time {time_ns}")
         self._sequence += 1
         event = ScheduledEvent(time_ns, delta, self._sequence, callback)
         heapq.heappush(self._heap, (time_ns, delta, self._sequence, event))
         self._live += 1
-        return EventHandle(event)
+        return event
 
     def pop(self) -> Optional[ScheduledEvent]:
         """Remove and return the earliest live event, or None when empty."""
@@ -45,7 +47,33 @@ class EventQueue:
         while heap:
             event = heapq.heappop(heap)[3]
             if event.cancelled:
+                self._live -= 1
                 continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def pop_due(self, until_ns: Optional[int] = None) -> Optional[ScheduledEvent]:
+        """Pop the earliest live event strictly before ``until_ns``.
+
+        Returns None when the queue is empty or the head is at/after the
+        bound.  This fuses the ``peek_time`` + ``pop`` pair the simulator's
+        dispatch loop used to make — one heap inspection per event instead
+        of two, which is the kernel's single hottest code path.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event.cancelled:
+                pop(heap)
+                self._live -= 1
+                continue
+            if until_ns is not None and head[0] >= until_ns:
+                return None
+            pop(heap)
             self._live -= 1
             return event
         self._live = 0
@@ -56,6 +84,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
+            self._live -= 1
         if not heap:
             self._live = 0
             return None

@@ -25,6 +25,9 @@ class Signal(Generic[T]):
         name: hierarchical name (used by tracers).
     """
 
+    __slots__ = ("_sim", "name", "_value", "_pending", "_update_scheduled",
+                 "_subscribers", "_last_change_ns")
+
     def __init__(self, sim: Simulator, name: str, initial: T):
         self._sim = sim
         self.name = name
@@ -46,11 +49,21 @@ class Signal(Generic[T]):
         return self._value
 
     def write(self, value: T) -> None:
-        """Request the signal to take ``value`` one delta cycle from now."""
-        self._pending = value
+        """Request the signal to take ``value`` one delta cycle from now.
+
+        Writing the committed value again while no write is pending is a
+        no-op and schedules nothing: the commit would compare-equal and
+        change neither the value, ``last_change_ns`` nor any subscriber's
+        view.  Link controllers re-assert ``enable_rx``/``enable_tx``
+        every slot, so this skip removes a delta-cycle event per re-assert
+        from the kernel's hot loop.
+        """
         if not self._update_scheduled:
+            if value == self._value:
+                return
             self._update_scheduled = True
             self._sim.schedule_delta(self._commit)
+        self._pending = value
 
     def write_now(self, value: T) -> None:
         """Commit ``value`` immediately (bypasses the delta delay).

@@ -79,27 +79,21 @@ class Simulator:
         self._stopped = False
         dispatched = 0
         queue = self._queue
+        fired = _event._FIRED
         while not self._stopped:
             if max_events is not None and dispatched >= max_events:
                 break
-            head = queue.peek_time()
-            if head is None:
+            event = queue.pop_due(until_ns)
+            if event is None:
                 if until_ns is not None:
+                    if len(queue):  # stopped by the bound, not exhaustion
+                        self.delta = 0
                     self.now = max(self.now, until_ns)
                 break
-            time_ns, delta = head
-            if until_ns is not None and time_ns >= until_ns:
-                self.now = until_ns
-                self.delta = 0
-                break
-            event = queue.pop()
-            assert event is not None
-            if time_ns != self.now:
-                self.delta = 0
-            self.now = time_ns
-            self.delta = delta
+            self.now = event.time_ns
+            self.delta = event.delta
             callback = event.callback
-            event.callback = _event._FIRED
+            event.callback = fired
             callback()
             dispatched += 1
         self._events_dispatched += dispatched

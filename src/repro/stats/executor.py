@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import time
 import warnings
 from typing import Any, Callable, Optional, Sequence
 
@@ -100,6 +101,18 @@ def _run_chunk(fn: Callable[[Any], Any], chunk: list) -> list:
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_timed(fn: Callable[[Any], Any], chunk: list) -> tuple:
+    """Like :func:`_run_chunk`, but reports the worker-side busy interval.
+
+    ``time.perf_counter`` is CLOCK_MONOTONIC on Linux — system-wide, so
+    intervals measured in forked workers are comparable with the parent's
+    clock and can be summed into a pool-utilization fraction.
+    """
+    start = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    return results, start, time.perf_counter()
+
+
 class ParallelExecutor(Executor):
     """Process-pool backend with chunked dispatch and ordered reassembly.
 
@@ -123,7 +136,8 @@ class ParallelExecutor(Executor):
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 track_utilization: bool = False):
         # an explicit job count is honoured verbatim — the REPRO_JOBS env
         # override applies only at the get_executor()/default_jobs() entry
         # point, so tests and direct callers can pin a backend
@@ -134,6 +148,14 @@ class ParallelExecutor(Executor):
         else:
             self.jobs = int(jobs)
         self.chunk_size = chunk_size
+        #: when True, each parallel ``map`` records worker busy intervals
+        #: and publishes ``last_map_stats`` (used by bench_sweep to report
+        #: the pool-utilization fraction); off by default so the ordinary
+        #: dispatch path ships no timing payload.
+        self.track_utilization = track_utilization
+        #: ``{"wall_s", "busy_s", "utilization", "chunks", "jobs"}`` of the
+        #: most recent tracked parallel ``map``; None before one happens.
+        self.last_map_stats: Optional[dict] = None
         self._pool = None
 
     def _ensure_pool(self):
@@ -187,15 +209,31 @@ class ParallelExecutor(Executor):
             1, math.ceil(len(items) / (jobs * _CHUNKS_PER_JOB)))
         chunks = [items[i:i + size] for i in range(0, len(items), size)]
         pool = self._ensure_pool()
-        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        worker = _run_chunk_timed if self.track_utilization else _run_chunk
+        wall_start = time.perf_counter()
+        futures = [pool.submit(worker, fn, chunk) for chunk in chunks]
         results: list = []
+        busy_s = 0.0
         index = 0
         for future in futures:  # submission order == item order
-            for result in future.result():
+            payload = future.result()
+            if self.track_utilization:
+                payload, chunk_start, chunk_end = payload
+                busy_s += chunk_end - chunk_start
+            for result in payload:
                 results.append(result)
                 if progress is not None:
                     progress(index, result)
                 index += 1
+        if self.track_utilization:
+            wall_s = time.perf_counter() - wall_start
+            self.last_map_stats = {
+                "wall_s": wall_s,
+                "busy_s": busy_s,
+                "utilization": busy_s / (jobs * wall_s) if wall_s > 0 else 0.0,
+                "chunks": len(chunks),
+                "jobs": jobs,
+            }
         return results
 
 

@@ -100,6 +100,11 @@ class MonteCarlo:
             return self.master_seed * LEGACY_SEED_STRIDE + index
         return derive_seed(self.master_seed, index)
 
+    def seeds(self) -> list[int]:
+        """All trial seeds in index order (what a flattened dispatcher
+        enqueues; identical to the seeds :meth:`run` evaluates)."""
+        return [self.seed_for(index) for index in range(self.trials)]
+
     def run(self, trial_fn: Callable[[int], TrialOutcome],
             progress: Optional[Callable[[int, TrialOutcome], None]] = None,
             executor: Optional[Executor] = None,
@@ -112,7 +117,7 @@ class MonteCarlo:
         """
         if executor is None:
             executor = SequentialExecutor()
-        seeds = [self.seed_for(index) for index in range(self.trials)]
+        seeds = self.seeds()
         self.outcomes.clear()  # a failing run must not leave stale results
         self.outcomes[:] = executor.map(trial_fn, seeds, progress=progress)
         return self.outcomes

@@ -1,12 +1,35 @@
-"""Parameter sweeps: run a Monte Carlo batch per x-axis point."""
+"""Parameter sweeps: run a Monte Carlo batch per x-axis point.
+
+Dispatch strategies
+-------------------
+
+``Sweep.run`` supports two dispatch modes over the ``n_points x
+trials_per_point`` grid:
+
+* ``"flat"`` (default) — every (point, trial) task is derived up front and
+  the whole grid goes to the executor as **one work queue**.  Chunks then
+  span point boundaries, so a parallel pool stays busy end-to-end instead
+  of idling at the tail of every x point (the per-point join barrier of the
+  legacy mode).  Seeds use the same two-level ``derive_seed`` coordinates
+  as the per-point mode, so outcomes are byte-identical either way, at any
+  job count.
+* ``"per_point"`` — the legacy loop: one Monte-Carlo batch per point, with
+  a barrier between points.  Retained as the reference implementation; the
+  equivalence suite asserts ``flat == per_point`` bytes for every figure
+  sweep.
+
+:func:`run_flattened` generalises the flat mode to *several* sweeps in one
+queue (e.g. Fig. 8 runs its inquiry and page sweeps as a single grid), so
+not even the boundary between sweeps is a barrier.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.stats.estimators import MeanEstimate, ProportionEstimate, mean_with_ci, wilson_interval
-from repro.stats.executor import Executor
+from repro.stats.executor import Executor, SequentialExecutor
 from repro.stats.montecarlo import MonteCarlo, TrialOutcome, derive_seed
 
 #: Stream tag separating per-point master seeds from trial seeds.
@@ -30,6 +53,23 @@ class _PointTrial:
 
     def __call__(self, seed: int) -> TrialOutcome:
         return self.trial_fn(self.x, seed)
+
+
+@dataclass
+class _FlatTrial:
+    """Picklable dispatcher for one flattened (sweep, point, trial) task.
+
+    Tasks are ``(sweep_index, point_index, seed)`` triples; the dispatcher
+    carries each sweep's trial function and x values, so a worker process
+    can evaluate any task of any sweep in the queue.
+    """
+
+    trial_fns: list
+    xs: list
+
+    def __call__(self, task) -> TrialOutcome:
+        sweep_index, point_index, seed = task
+        return self.trial_fns[sweep_index](self.xs[sweep_index][point_index], seed)
 
 
 @dataclass
@@ -71,26 +111,89 @@ class Sweep:
         return derive_seed(self.master_seed, point_index,
                            stream=SWEEP_POINT_STREAM)
 
+    def point_monte_carlo(self, point_index: int) -> MonteCarlo:
+        """The (unrun) Monte-Carlo batch of ``point_index``; its
+        ``seed_for`` yields exactly the seeds either dispatch mode uses."""
+        return MonteCarlo(master_seed=self.point_master_seed(point_index),
+                          trials=self.trials_per_point,
+                          legacy_seeds=self.legacy_seeds)
+
     def run(self, xs: list[tuple[float, str]],
             trial_fn: Callable[[float, int], TrialOutcome],
-            executor: Optional[Executor] = None) -> list[SweepPoint]:
+            executor: Optional[Executor] = None,
+            dispatch: str = "flat") -> list[SweepPoint]:
         """Run the sweep; ``xs`` is a list of (value, label) pairs.
 
-        ``executor`` fans each point's trials out over worker processes;
-        results are independent of the job count (see
-        :mod:`repro.stats.executor`).
+        ``executor`` fans trials out over worker processes; results are
+        independent of the job count *and* of ``dispatch`` (see module
+        docstring) — ``"flat"`` merely removes the per-point join barrier.
         """
+        if dispatch == "flat":
+            self.points = run_flattened([(self, xs, trial_fn)], executor)[0]
+            return self.points
+        if dispatch != "per_point":
+            raise ValueError(f"unknown dispatch mode: {dispatch!r}")
         self.points.clear()
         for point_index, (x, label) in enumerate(xs):
-            mc = MonteCarlo(master_seed=self.point_master_seed(point_index),
-                            trials=self.trials_per_point,
-                            legacy_seeds=self.legacy_seeds)
+            mc = self.point_monte_carlo(point_index)
             mc.run(_PointTrial(trial_fn, x), executor=executor)
-            self.points.append(SweepPoint(
-                x=x,
-                label=label,
-                mean=mean_with_ci(mc.successful_values()),
-                success=wilson_interval(mc.successes, len(mc.outcomes)),
-                extra=mc.outcomes,
-            ))
+            self.points.append(_aggregate_point(x, label, mc.outcomes))
         return self.points
+
+
+def _aggregate_point(x: float, label: str,
+                     outcomes: list[TrialOutcome]) -> SweepPoint:
+    """Fold one point's ordered outcome list into its aggregates."""
+    successes = sum(1 for o in outcomes if o.success)
+    return SweepPoint(
+        x=x,
+        label=label,
+        mean=mean_with_ci([o.value for o in outcomes if o.success]),
+        success=wilson_interval(successes, len(outcomes)),
+        extra=outcomes,
+    )
+
+
+def run_flattened(
+    sweeps: Sequence[tuple["Sweep", list[tuple[float, str]], Callable]],
+    executor: Optional[Executor] = None,
+) -> list[list[SweepPoint]]:
+    """Run several sweeps as **one flattened work queue**.
+
+    ``sweeps`` is a list of ``(sweep, xs, trial_fn)`` triples.  All
+    ``(sweep, point, trial)`` seeds are derived up front with each sweep's
+    own coordinates, the flat task list is dispatched through a single
+    ``executor.map`` call, and the ordered results are sliced back into
+    per-point :class:`SweepPoint` aggregates — so no per-point (or
+    per-sweep) join barrier exists anywhere in the run.
+
+    Returns one ``list[SweepPoint]`` per input sweep, byte-identical to
+    running each sweep in ``"per_point"`` mode.
+    """
+    if executor is None:
+        executor = SequentialExecutor()
+    tasks: list[tuple[int, int, int]] = []
+    slices: list[list[tuple[int, int]]] = []  # per sweep: per point (lo, hi)
+    for sweep_index, (sweep, xs, _trial_fn) in enumerate(sweeps):
+        point_slices = []
+        for point_index in range(len(xs)):
+            mc = sweep.point_monte_carlo(point_index)
+            lo = len(tasks)
+            tasks.extend((sweep_index, point_index, mc.seed_for(trial))
+                         for trial in range(mc.trials))
+            point_slices.append((lo, len(tasks)))
+        slices.append(point_slices)
+
+    flat_fn = _FlatTrial(trial_fns=[fn for _, _, fn in sweeps],
+                         xs=[[x for x, _ in xs] for _, xs, _ in sweeps])
+    outcomes = executor.map(flat_fn, tasks)
+
+    results: list[list[SweepPoint]] = []
+    for (sweep, xs, _trial_fn), point_slices in zip(sweeps, slices):
+        points = [
+            _aggregate_point(x, label, outcomes[lo:hi])
+            for (x, label), (lo, hi) in zip(xs, point_slices)
+        ]
+        sweep.points = points
+        results.append(points)
+    return results

@@ -106,3 +106,38 @@ class TestSamplers:
     def test_null_poll_payload_never_fails(self):
         model = StageErrorModel(0.4, np.random.default_rng(1))
         assert all(model.sample_payload(PacketType.POLL, 0) for _ in range(50))
+
+
+class TestSampleStagesStreamEquivalence:
+    """The batched ``sample_stages`` must be draw-for-draw identical to the
+    separate sampler chain: same outcomes AND same RNG stream consumption
+    (including the early exits).  A reordered or unconditional draw would
+    silently shift the channel.stages stream and change every framed-packet
+    figure — this is the stage-model analogue of the codec fast-path
+    equivalence suite.
+    """
+
+    CASES = [
+        (0.0, PacketType.DM1, 17, 7),
+        (1 / 100, PacketType.DM1, 17, 7),
+        (1 / 40, PacketType.DM5, 224, 7),
+        (1 / 40, PacketType.DH5, 339, 0),
+        (1 / 30, PacketType.NULL, 0, 7),
+        (0.2, PacketType.DM3, 120, 7),
+    ]
+
+    @pytest.mark.parametrize("ber,ptype,payload_len,threshold", CASES)
+    def test_outcomes_and_stream_match_separate_samplers(
+            self, ber, ptype, payload_len, threshold):
+        batched = StageErrorModel(ber, np.random.default_rng(42))
+        chained = StageErrorModel(ber, np.random.default_rng(42))
+        for _ in range(300):
+            stages = batched.sample_stages(ptype, payload_len, threshold)
+            synced = chained.sample_sync(threshold)
+            header_ok = synced and chained.sample_header()
+            payload_ok = header_ok and chained.sample_payload(
+                ptype, payload_len)
+            assert stages == (synced, header_ok, payload_ok)
+        # both generators must be at the same stream position afterwards
+        assert (batched._rng.integers(0, 2**63)
+                == chained._rng.integers(0, 2**63))

@@ -37,7 +37,12 @@ from repro.stats.montecarlo import (
     TrialOutcome,
     derive_seed,
 )
-from repro.stats.sweep import LEGACY_POINT_STRIDE, SWEEP_POINT_STREAM, Sweep
+from repro.stats.sweep import (
+    LEGACY_POINT_STRIDE,
+    SWEEP_POINT_STREAM,
+    Sweep,
+    run_flattened,
+)
 
 
 def _synthetic_trial(seed: int) -> TrialOutcome:
@@ -123,6 +128,89 @@ def test_simulation_sweep_outcomes_identical_at_any_job_count(name):
         # and identical aggregates
         assert point_seq.mean == point_par.mean
         assert point_seq.success == point_par.success
+
+
+@pytest.mark.parametrize("name", sorted(SIM_TRIAL_FNS))
+def test_flattened_dispatch_identical_to_per_point_at_any_job_count(name):
+    """The byte-identity contract of the flattened work queue: for every
+    figure-style sweep, ``dispatch="flat"`` must equal ``"per_point"`` at
+    jobs 1, 2 and 4 (and all of those must equal each other)."""
+    trial_fn = SIM_TRIAL_FNS[name]
+    reference = Sweep(master_seed=7, trials_per_point=3).run(
+        SMALL_GRID, trial_fn, executor=SequentialExecutor(),
+        dispatch="per_point")
+    reference_bytes = pickle.dumps(reference)
+    for jobs in (1, 2, 4):
+        with ParallelExecutor(jobs=jobs) as executor:
+            flat = Sweep(master_seed=7, trials_per_point=3).run(
+                SMALL_GRID, trial_fn, executor=executor, dispatch="flat")
+            per_point = Sweep(master_seed=7, trials_per_point=3).run(
+                SMALL_GRID, trial_fn, executor=executor,
+                dispatch="per_point")
+        assert pickle.dumps(flat) == reference_bytes
+        assert pickle.dumps(per_point) == reference_bytes
+
+
+def test_multi_sweep_flattened_queue_identical_to_separate_runs():
+    """``run_flattened`` over several sweeps (the Fig. 8 inquiry + page
+    pattern) must reproduce each sweep's separate per-point results."""
+    specs = [
+        (Sweep(master_seed=3, trials_per_point=2),
+         SMALL_GRID, fig08_failure_probability.inquiry_trial),
+        (Sweep(master_seed=4, trials_per_point=2),
+         SMALL_GRID, fig08_failure_probability.page_trial),
+    ]
+    with ParallelExecutor(jobs=3) as executor:
+        combined = run_flattened(specs, executor)
+    separate = [
+        Sweep(master_seed=3, trials_per_point=2).run(
+            SMALL_GRID, fig08_failure_probability.inquiry_trial,
+            dispatch="per_point"),
+        Sweep(master_seed=4, trials_per_point=2).run(
+            SMALL_GRID, fig08_failure_probability.page_trial,
+            dispatch="per_point"),
+    ]
+    assert pickle.dumps(combined) == pickle.dumps(separate)
+
+
+def test_unknown_dispatch_mode_rejected():
+    with pytest.raises(ValueError, match="dispatch"):
+        Sweep(master_seed=1, trials_per_point=1).run(
+            [(0.0, "0")], _synthetic_trial_x, dispatch="sideways")
+
+
+def _synthetic_trial_x(x: float, seed: int) -> TrialOutcome:
+    """Module-level figure-style trial: value depends on both coordinates,
+    so any cross-point reordering or seed mix-up changes the bytes."""
+    return TrialOutcome(seed=seed, success=(seed ^ int(x * 1000)) % 4 != 0,
+                        value=float((seed % 1009) + x))
+
+
+class TestFlattenedInterleavingProperties:
+    """Flattened chunk interleaving must never reorder SweepPoint
+    aggregates, whatever the grid shape and chunking geometry."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_points=st.integers(min_value=1, max_value=5),
+        trials=st.integers(min_value=1, max_value=6),
+        chunk_size=st.integers(min_value=1, max_value=50),
+        jobs=st.integers(min_value=2, max_value=4),
+        master=st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_flat_equals_per_point_under_any_chunking(
+            self, n_points, trials, chunk_size, jobs, master):
+        xs = [(float(i), f"p{i}") for i in range(n_points)]
+        reference = Sweep(master_seed=master, trials_per_point=trials).run(
+            xs, _synthetic_trial_x, executor=SequentialExecutor(),
+            dispatch="per_point")
+        with ParallelExecutor(jobs=jobs, chunk_size=chunk_size) as executor:
+            flat = Sweep(master_seed=master, trials_per_point=trials).run(
+                xs, _synthetic_trial_x, executor=executor, dispatch="flat")
+        assert pickle.dumps(flat) == pickle.dumps(reference)
+        # aggregate order is the x-grid order, never the completion order
+        assert [p.label for p in flat] == [label for _, label in xs]
+        assert [p.x for p in flat] == [x for x, _ in xs]
 
 
 @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
