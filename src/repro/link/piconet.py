@@ -5,7 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.baseband.address import BdAddr
+from repro.baseband.hop import HopSelector
 from repro.errors import ProtocolError
 from repro.link.states import ConnectionMode
 
@@ -67,11 +70,29 @@ class Piconet:
         self.master_addr = master_addr
         self.slaves: dict[int, SlaveLink] = {}
         self._parked: dict[int, SlaveLink] = {}
+        self._hop_selector: Optional[HopSelector] = None
 
     @property
     def cac_lap(self) -> int:
         """Channel access code LAP — the master's LAP."""
         return self.master_addr.lap
+
+    @property
+    def hop_selector(self) -> HopSelector:
+        """The piconet's channel-hopping kernel (master's hop address);
+        shares the per-address connection memo with every member device."""
+        if self._hop_selector is None:
+            self._hop_selector = HopSelector(self.master_addr.hop_address)
+        return self._hop_selector
+
+    def hop_sequence(self, clk_start: int, slots: int) -> np.ndarray:
+        """The piconet's hop frequencies over a window of ``slots`` slots
+        starting at clock ``clk_start`` (stride 2 CLK ticks per slot),
+        computed in one vectorized pass.  Dense-deployment diagnostics use
+        this to predict co-channel overlap between piconets without
+        stepping the scalar kernel slot by slot."""
+        clks = clk_start + 2 * np.arange(slots, dtype=np.int64)
+        return self.hop_selector.connection_many(clks)
 
     def allocate_am_addr(self) -> int:
         """Lowest free AM_ADDR (1..7)."""

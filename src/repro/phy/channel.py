@@ -35,6 +35,11 @@ thousands of these per second):
   identity/key scans.
 * Stage callbacks are ``functools.partial`` bindings of bound methods, not
   capturing lambdas — no closure-cell allocation per scheduled stage.
+* All receptions of a transmission resolved at the same sync instant are
+  grouped into **one batch event** whose decode outcomes go through the
+  batched :func:`~repro.baseband.codec.decode_packets` codec API
+  (bit-accurate mode) — see :attr:`Channel.batch_sync` for the
+  byte-identity argument and the scalar reference knob.
 """
 
 from __future__ import annotations
@@ -42,7 +47,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import partial
 
-from repro.baseband.codec import DecodeResult, decode_packet, encode_packet
+from repro.baseband.codec import (
+    DecodeResult,
+    decode_packet,
+    decode_packets,
+    encode_packet,
+)
 from repro.baseband.errormodel import StageErrorModel
 from repro.baseband.bits import flip_bits
 from repro.baseband.packets import Packet, PacketType
@@ -86,6 +96,25 @@ class Reception:
 
 class Channel(Module):
     """Single shared medium connecting every radio in the simulation."""
+
+    #: Batch the sync-stage decodes of a transmission's listeners into one
+    #: event (``False`` restores the per-listener scalar events — retained
+    #: as the reference path for the golden-digest equivalence suite and
+    #: the before/after rows of ``benchmarks/bench_sweep.py``).
+    #:
+    #: Byte-identity argument: the per-listener sync events of one
+    #: transmission are scheduled back-to-back inside one atomic
+    #: ``_scan_listeners`` event, so they hold consecutive sequence numbers
+    #: and fire consecutively — nothing can interleave.  Within that run,
+    #: every listener callback (``on_sync`` / ID-packet ``on_reception``)
+    #: only mutates its *own* device's receiver state, and only
+    #: ``_full_decode`` draws from the channel's noise/stage RNG streams —
+    #: so admitting all listeners first, drawing their decode outcomes in
+    #: listener order, and then delivering in the same order consumes
+    #: identical RNG state and observes identical guards as the
+    #: event-per-listener interleaving.  (``tx.corrupted`` is re-read at
+    #: each delivery, preserving collision flags raised mid-batch.)
+    batch_sync = True
 
     def __init__(self, sim: Simulator, name: str, config: SimulationConfig,
                  rngs: RandomStreams):
@@ -218,6 +247,7 @@ class Channel(Module):
         delay = self.config.rf.modem_delay_ns
         sync_time = tx.start_ns + delay + SYNC_DECISION_NS
         carrier_sense = self.config.rf.carrier_sense
+        receivers = []
         for listener in candidates:
             if listener is tx.radio or not listener.rx_open or listener.tx_busy:
                 continue
@@ -225,8 +255,17 @@ class Channel(Module):
                 continue
             if carrier_sense:
                 listener.carrier_detected(tx)
+            receivers.append(listener)
+        if not receivers:
+            return
+        if self.batch_sync and len(receivers) > 1:
+            # one event resolves the whole slot batch (see batch_sync)
             self.sim.schedule_abs(
-                sync_time, partial(self._sync_stage, tx, listener))
+                sync_time, partial(self._sync_batch, tx, receivers))
+        else:
+            for listener in receivers:
+                self.sim.schedule_abs(
+                    sync_time, partial(self._sync_stage, tx, listener))
 
     def _expire(self, tx: Transmission) -> None:
         live = self._active_by_freq.get(tx.freq)
@@ -237,16 +276,21 @@ class Channel(Module):
     # Receive path (staged)
     # ------------------------------------------------------------------
 
-    def _sync_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
+    def _sync_admit(self, tx: Transmission, listener: RfFrontEnd) -> bool:
+        """The sync-time receiver guard (shared by scalar and batch paths)."""
         if not listener.rx_open or not (listener.locked_tx is tx
                                         or listener.tuned_to(tx.freq)):
             if listener.locked_tx is tx:
                 listener.locked_tx = None
-            return
+            return False
         if listener.locked_tx is not None and listener.locked_tx is not tx:
-            return  # already locked onto a different packet
+            return False  # already locked onto a different packet
+        return True
 
-        result = self._full_decode(tx, listener)
+    def _sync_deliver(self, tx: Transmission, listener: RfFrontEnd,
+                      result: DecodeResult) -> None:
+        """Post-decode half of the sync stage: deliver the decision and
+        schedule the header stage when the listener stays locked."""
         matched = result.synced and not tx.corrupted
         listener.deliver_sync(tx, matched)
 
@@ -262,6 +306,25 @@ class Channel(Module):
         self.sim.schedule_abs(
             tx.start_ns + delay + HEADER_DECISION_NS,
             partial(self._header_stage, tx, listener))
+
+    def _sync_stage(self, tx: Transmission, listener: RfFrontEnd) -> None:
+        if not self._sync_admit(tx, listener):
+            return
+        result = self._full_decode(tx, listener)
+        self._sync_deliver(tx, listener, result)
+
+    def _sync_batch(self, tx: Transmission,
+                    receivers: list[RfFrontEnd]) -> None:
+        """Resolve every reception of ``tx`` in one event: admit in listener
+        order, draw all decode outcomes (one batched ``decode_packets`` call
+        in bit-accurate mode), then deliver in the same order."""
+        admitted = [listener for listener in receivers
+                    if self._sync_admit(tx, listener)]
+        if not admitted:
+            return
+        results = self._full_decode_batch(tx, admitted)
+        for listener, result in zip(admitted, results):
+            self._sync_deliver(tx, listener, result)
 
     def _pop_pending(self, tx: Transmission,
                      listener: RfFrontEnd) -> DecodeResult | None:
@@ -353,6 +416,38 @@ class Channel(Module):
         result.set_header_fields(packet.am_addr, packet.ptype.info.code,
                                  packet.arqn, packet.seqn)
         return result
+
+    def _full_decode_batch(self, tx: Transmission,
+                           listeners: list[RfFrontEnd]) -> list[DecodeResult]:
+        """Decode outcomes for every admitted listener of one transmission.
+
+        Statistical mode draws per listener exactly like the scalar path.
+        Bit-accurate mode draws each listener's noise pattern in listener
+        order (identical noise-stream consumption), then resolves all noisy
+        frames through one :func:`decode_packets` call.
+        """
+        if not self.config.bit_accurate:
+            return [self._full_decode(tx, listener) for listener in listeners]
+        assert tx.air_bits is not None
+        threshold = self._threshold_for(tx.packet)
+        results: list[DecodeResult | None] = [None] * len(listeners)
+        frames, laps, slots = [], [], []
+        for index, listener in enumerate(listeners):
+            expect = listener.expect
+            if expect is None or expect.lap != tx.packet.lap:
+                results[index] = DecodeResult(synced=False, stage="sync")
+                continue
+            positions = self.noise.error_positions(len(tx.air_bits))
+            frames.append(flip_bits(tx.air_bits, positions) if len(positions)
+                          else tx.air_bits)
+            laps.append(expect.lap)
+            slots.append(index)
+        if frames:
+            decoded = decode_packets(frames, laps, tx.tx_uap, tx.tx_clk,
+                                     sync_threshold=threshold)
+            for index, result in zip(slots, decoded):
+                results[index] = result
+        return results
 
 
 def _attach_index(radio: RfFrontEnd) -> int:

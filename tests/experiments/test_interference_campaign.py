@@ -1,0 +1,77 @@
+"""Dense-deployment interference campaign: seeding, trial averaging and
+measured-loss behaviour (the ext_interference bugfixes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_interference
+from repro.stats.montecarlo import derive_seed
+from repro.stats.sweep import SWEEP_POINT_STREAM
+
+
+@pytest.fixture
+def tiny_campaign(monkeypatch):
+    monkeypatch.setattr(ext_interference, "PICONET_COUNTS", [1, 3])
+    monkeypatch.setattr(ext_interference, "OBSERVE_SLOTS", 600)
+    monkeypatch.delenv("REPRO_TRIALS", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
+class TestSeeding:
+    def test_trials_honored_and_rows_trial_averaged(self, tiny_campaign):
+        result = ext_interference.run(trials=2, seed=5, jobs=1)
+        assert [row[0] for row in result.rows] == [1, 3]
+        assert all(row[-1] == "2/2" for row in result.rows), \
+            "run(trials=2) must execute (and report) 2 trials per point"
+
+    def test_point_seeds_use_two_level_derivation(self, tiny_campaign):
+        """Trial seeds must come from the collision-free splitmix64 path
+        (derive_seed over sweep-point coordinates), not ``seed + index``."""
+        seen = []
+        original = ext_interference.run_point
+
+        def recording(n_piconets, seed):
+            seen.append((n_piconets, seed))
+            return original(n_piconets, seed)
+
+        ext_interference.run_point = recording
+        try:
+            ext_interference.run(trials=2, seed=5, jobs=1)
+        finally:
+            ext_interference.run_point = original
+        expected = []
+        for point_index in range(2):
+            point_master = derive_seed(5, point_index,
+                                       stream=SWEEP_POINT_STREAM)
+            for trial in range(2):
+                expected.append(derive_seed(point_master, trial))
+        assert sorted(seed for _, seed in seen) == sorted(expected)
+        assert not any(seed in (5, 6) for _, seed in seen), \
+            "legacy seed+index arithmetic resurfaced"
+
+    def test_deterministic_across_reruns(self, tiny_campaign):
+        first = ext_interference.run(trials=2, seed=9, jobs=1)
+        second = ext_interference.run(trials=2, seed=9, jobs=1)
+        assert first.rows == second.rows
+
+
+class TestMeasuredLoss:
+    def test_run_point_reports_real_loss(self, tiny_campaign):
+        goodput, loss, tx, rx, collisions = ext_interference.run_point(3, 77)
+        assert tx > 0 and 0 <= rx <= tx
+        assert loss == pytest.approx(1.0 - rx / tx)
+        assert goodput > 0
+
+    def test_alone_point_has_negligible_loss(self, tiny_campaign):
+        _, loss, tx, _, collisions = ext_interference.run_point(1, 13)
+        assert tx > 0
+        assert loss == pytest.approx(0.0, abs=0.02)
+        assert collisions == 0
+
+    def test_loss_column_reflects_measurement(self, tiny_campaign):
+        result = ext_interference.run(trials=2, seed=5, jobs=1)
+        per_column = [row[4] for row in result.rows]
+        assert per_column[0] == pytest.approx(0.0, abs=2.0)
+        assert per_column[1] > per_column[0], \
+            "interfered point must show measured (non-zero) packet loss"

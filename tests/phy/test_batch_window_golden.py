@@ -1,0 +1,113 @@
+"""Golden-digest equivalence: batched-decode channel + windowed hop cache
+vs the pre-PR scalar paths.
+
+Two multi-piconet scenarios (statistical and bit-accurate channels) are
+run twice in-process — once with the fast paths enabled (the defaults:
+``Channel.batch_sync`` and ``HopSelector.WINDOW_SLOTS``) and once with
+both knobs restored to the scalar per-event / per-call behaviour — and
+their *physical outcomes* (collisions, transmissions, delivered bytes,
+per-device packet counts) must match bit for bit.  The outcomes are
+additionally pinned against sha256 digests captured on the pre-PR tree,
+so a matched pair of bugs in the fast and scalar paths cannot slip
+through.  (``events_dispatched`` is deliberately not part of the digest:
+batching merges a transmission's per-listener sync events into one, which
+is exactly the point.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.baseband.hop import HopSelector
+from repro.experiments.ext_interference import build_campaign_session
+from repro.phy.channel import Channel
+
+#: sha256 prefixes of the scenario outcomes, captured on the pre-PR tree
+#: (scalar per-listener sync events, scalar per-call hop fills).
+GOLDEN_STAT = "ea87f0b01df77318"
+GOLDEN_BIT = "cd5dc5712ed5b940"
+
+
+def _run_scenario(n_piconets: int, seed: int, observe_slots: int,
+                  ber: float = 0.0, bit_accurate: bool = False) -> tuple:
+    """Build ``n_piconets`` saturated piconets (the campaign's own bring-up
+    protocol) and return the physical outcome tuple of the run."""
+    session, pairs = build_campaign_session(n_piconets, seed, ber=ber,
+                                            bit_accurate=bit_accurate)
+    session.run_slots(observe_slots)
+    return (
+        session.channel.collisions,
+        session.channel.transmissions,
+        tuple(slave.rx_buffer.total_bytes for _, slave in pairs),
+        tuple(master.connection_master.stats_tx_packets
+              for master, _ in pairs),
+        tuple(slave.connection_slave.stats_rx_packets for _, slave in pairs),
+    )
+
+
+def _digest(outcome: tuple) -> str:
+    return hashlib.sha256(json.dumps(outcome).encode()).hexdigest()[:16]
+
+
+@pytest.fixture
+def scalar_paths(monkeypatch):
+    """Restore the pre-PR scalar behaviour: per-listener sync events and
+    per-call hop-memo fills (fresh memos so every fill is exercised)."""
+    monkeypatch.setattr(Channel, "batch_sync", False)
+    monkeypatch.setattr(HopSelector, "WINDOW_SLOTS", 1)
+    monkeypatch.setattr(HopSelector, "_connection_memos", {})
+
+
+@pytest.mark.parametrize("name,kwargs,golden", [
+    ("statistical", dict(n_piconets=3, seed=97, observe_slots=800),
+     GOLDEN_STAT),
+    ("bit_accurate", dict(n_piconets=2, seed=53, observe_slots=400,
+                          ber=0.002, bit_accurate=True), GOLDEN_BIT),
+])
+def test_fast_paths_match_scalar_golden(name, kwargs, golden, monkeypatch):
+    fast = _run_scenario(**kwargs)
+    monkeypatch.setattr(Channel, "batch_sync", False)
+    monkeypatch.setattr(HopSelector, "WINDOW_SLOTS", 1)
+    monkeypatch.setattr(HopSelector, "_connection_memos", {})
+    scalar = _run_scenario(**kwargs)
+    assert fast == scalar, f"{name}: fast paths diverge from scalar paths"
+    assert _digest(fast) == golden, \
+        f"{name}: outcomes diverge from the pre-PR golden digest"
+
+
+def test_windowed_hop_fill_matches_scalar_fill(scalar_paths):
+    """`connection()` served from the windowed prefill equals the scalar
+    per-call fill for every clock, across addresses and parities."""
+    rng = np.random.default_rng(11)
+    for address in rng.integers(0, 1 << 28, size=8):
+        clk_base = int(rng.integers(0, 1 << 26)) & ~1
+        clks = [clk_base + 2 * k for k in range(150)] + \
+               [clk_base + 1 + 2 * k for k in range(10)] + \
+               [int(rng.integers(0, 1 << 27)) for _ in range(20)]
+        scalar_selector = HopSelector(int(address))
+        scalar = [scalar_selector.connection(clk) for clk in clks]
+        HopSelector._connection_memos.clear()
+        HopSelector.WINDOW_SLOTS = 64
+        windowed_selector = HopSelector(int(address))
+        windowed = [windowed_selector.connection(clk) for clk in clks]
+        HopSelector.WINDOW_SLOTS = 1
+        HopSelector._connection_memos.clear()
+        assert windowed == scalar
+        assert all(isinstance(freq, int) for freq in windowed)
+
+
+def test_piconet_hop_sequence_matches_connection():
+    from repro.baseband.address import BdAddr
+    from repro.link.piconet import Piconet
+
+    addr = BdAddr(lap=0x9E8B33, uap=0x5A, nap=0x1234)
+    piconet = Piconet(addr)
+    clk_start = 4096
+    window = piconet.hop_sequence(clk_start, 64)
+    selector = HopSelector(addr.hop_address)
+    assert [int(freq) for freq in window] == \
+        [selector.connection(clk_start + 2 * k) for k in range(64)]
