@@ -1,0 +1,28 @@
+"""Bench: AFH goodput recovery under a static multi-channel interferer
+(extension)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_afh
+
+
+def bench_ext_afh(benchmark, bench_report):
+    result = run_once(benchmark, ext_afh.run)
+    bench_report(result)
+    rows = {row[0]: row for row in result.rows}
+    clean_baseline = rows[0][1]
+    assert clean_baseline > 0
+    # clean band: AFH does not cost goodput and keeps the full hop set
+    assert rows[0][2] >= 0.98 * clean_baseline
+    assert rows[0][5] == 79
+    # AFH-off degrades roughly with the jammed fraction of the band (both
+    # hop directions suffer), AFH-on recovers to >= 80 % of the baseline
+    for jammed, row in rows.items():
+        if jammed == 0:
+            continue
+        goodput_off, goodput_on, hop_set = row[1], row[2], row[5]
+        assert goodput_off < 0.9 * clean_baseline, \
+            f"{jammed} jammed channels must visibly degrade AFH-off goodput"
+        assert goodput_on >= 0.8 * clean_baseline, \
+            f"AFH must recover >= 80% of baseline at {jammed} jammed channels"
+        assert goodput_on > goodput_off
+        assert 20 <= hop_set <= 79 - jammed

@@ -8,9 +8,13 @@ interference campaign rides along: its piconet-count sweep runs flattened
 at jobs ∈ {1, 4} (byte-identical, with the same no-regression guard), and
 one 20-piconet point is measured on the batched-decode + windowed-hop fast
 paths against the scalar reference paths (events/s before/after, outcomes
-asserted identical).  Results are archived in ``BENCH_sweep.json`` at the
-repo root, next to ``BENCH_codec.json``, so the perf trajectory of the
-execution layer is pinned alongside the codec's.
+asserted identical).  The AFH workload rides along too: an 8-piconet
+deployment next to a 20-channel static interferer, measured with AFH off
+and on — the archived entry pins that the adaptive hop set recovers the
+goodput the fixed sequence keeps losing.  Results are archived in
+``BENCH_sweep.json`` at the repo root, next to ``BENCH_codec.json``, so
+the perf trajectory of the execution layer is pinned alongside the
+codec's.
 
 The ``baseline_pre_flatten`` section of that file is pinned (measured on
 the per-point-barrier codebase, commit 7bf1f7a) and preserved across runs;
@@ -37,7 +41,7 @@ import time
 
 from repro.api import Session
 from repro.baseband.hop import HopSelector
-from repro.experiments import ext_interference
+from repro.experiments import ext_afh, ext_interference
 from repro.experiments.common import PAPER_BER_GRID, paper_config
 from repro.experiments.fig08_failure_probability import inquiry_trial, page_trial
 from repro.phy.channel import Channel
@@ -60,6 +64,16 @@ INTERFERENCE_OBSERVE_SLOTS = 1200
 INTERFERENCE_JOBS = (1, 4)
 DENSE_PICONETS = 20
 DENSE_OBSERVE_SLOTS = 800
+
+#: AFH workload: 8 co-located piconets next to a 20-channel static
+#: interferer, measured with AFH off and on (same seed, identical
+#: bring-up).  The archived entry pins the recovery — AFH-on aggregate
+#: goodput must not lose to AFH-off — alongside the timing rows.
+AFH_PICONETS = 8
+AFH_JAM_CHANNELS = 20
+AFH_LEARN_SLOTS = 1200
+AFH_OBSERVE_SLOTS = 1200
+AFH_SEED = 909
 
 
 def _sweep_specs(trials: int):
@@ -186,6 +200,41 @@ def _run_dense_point_before_after(rounds: int = 3) -> dict:
     }
 
 
+def _run_afh_workload() -> dict:
+    """The 8-piconet AFH workload: aggregate goodput next to a 20-channel
+    static interferer with AFH off vs on (same seed, identical bring-up).
+    Archived so the recovery is pinned in BENCH_sweep.json and guarded by
+    the bench-sweep-smoke CI job."""
+    rows: dict[str, dict] = {}
+    for label, enabled in (("off", False), ("on", True)):
+        start = time.perf_counter()
+        goodput, hop_sets = ext_afh.measure_aggregate_goodput(
+            AFH_PICONETS, AFH_JAM_CHANNELS, enabled, AFH_SEED,
+            AFH_LEARN_SLOTS, AFH_OBSERVE_SLOTS)
+        rows[label] = {
+            "wall_s": round(time.perf_counter() - start, 3),
+            "goodput_kbps": round(goodput, 1),
+            "mean_hop_set": round(sum(hop_sets) / len(hop_sets), 1),
+        }
+    # a dead AFH-off link would make the on>=off recovery guards vacuous
+    # (and put an Infinity token into the JSON archive)
+    assert rows["off"]["goodput_kbps"] > 0, \
+        "AFH-off workload delivered nothing; recovery comparison is void"
+    ratio = rows["on"]["goodput_kbps"] / rows["off"]["goodput_kbps"]
+    return {
+        "workload": {
+            "experiment": "ext_afh",
+            "piconets": AFH_PICONETS,
+            "jammed_channels": AFH_JAM_CHANNELS,
+            "learn_slots": AFH_LEARN_SLOTS,
+            "observe_slots": AFH_OBSERVE_SLOTS,
+        },
+        "off": rows["off"],
+        "on": rows["on"],
+        "goodput_ratio_on_vs_off": round(ratio, 2),
+    }
+
+
 def _run_piconet_kernel() -> dict:
     """Events/sec of a 7-slave piconet in steady connection state."""
     session = Session(config=paper_config(seed=2))
@@ -281,6 +330,7 @@ def _run_bench() -> dict:
         },
         "kernel": _run_piconet_kernel(),
         "interference": _run_interference_bench(trials),
+        "afh": _run_afh_workload(),
     }
 
 
@@ -292,6 +342,7 @@ _SCHEMA_KEYS = {
     "sweep": ("jobs", "identical_across_jobs", "identical_flat_vs_per_point"),
     "kernel": ("slaves", "slots", "events", "wall_s", "events_per_s"),
     "interference": ("workload", "jobs", "identical_across_jobs", "dense"),
+    "afh": ("workload", "off", "on", "goodput_ratio_on_vs_off"),
 }
 
 
@@ -309,6 +360,10 @@ def _check_schema(current: dict) -> None:
     for key in ("piconets", "fast", "scalar", "speedup_fast_vs_scalar",
                 "outcomes_identical"):
         assert key in dense, f"BENCH_sweep.json missing interference.dense.{key}"
+    for mode in ("off", "on"):
+        for key in ("wall_s", "goodput_kbps", "mean_hop_set"):
+            assert key in current["afh"][mode], \
+                f"BENCH_sweep.json missing afh.{mode}.{key}"
 
 
 def _archive(results: dict) -> None:
@@ -354,6 +409,13 @@ def bench_sweep_scaling(benchmark, capsys):
               f"{dense['fast']['events_per_s']:,} events/s fast vs "
               f"{dense['scalar']['events_per_s']:,} scalar "
               f"({dense['speedup_fast_vs_scalar']}x best paired round)")
+        afh = results["afh"]
+        print(f"afh ({afh['workload']['piconets']} piconets, "
+              f"{afh['workload']['jammed_channels']} jammed): "
+              f"{afh['off']['goodput_kbps']} kb/s off vs "
+              f"{afh['on']['goodput_kbps']} kb/s on "
+              f"({afh['goodput_ratio_on_vs_off']}x, mean hop set "
+              f"{afh['on']['mean_hop_set']})")
     _archive(results)
 
     # determinism is non-negotiable at any job count and dispatch mode
@@ -376,6 +438,14 @@ def bench_sweep_scaling(benchmark, capsys):
     assert dense["speedup_fast_vs_scalar"] >= 0.98, (
         f"dense campaign point slower on the fast paths "
         f"({dense['speedup_fast_vs_scalar']}x vs scalar)")
+    # AFH must pay for itself under a static interferer: the adaptive hop
+    # set recovers goodput the fixed 79-channel sequence keeps losing
+    afh = results["afh"]
+    assert afh["on"]["goodput_kbps"] >= afh["off"]["goodput_kbps"], (
+        f"AFH-on aggregate goodput ({afh['on']['goodput_kbps']} kb/s) lost "
+        f"to AFH-off ({afh['off']['goodput_kbps']} kb/s) under a "
+        f"{AFH_JAM_CHANNELS}-channel static interferer")
+    assert afh["on"]["mean_hop_set"] >= 20  # spec N_min respected
     # CI smoke guard: with real cores, the flattened queue at jobs=4 must
     # beat (or at worst match) the sequential run; on a single-CPU host
     # there is no parallelism to measure, so only determinism is checked

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro import units
 from repro.baseband.address import BdAddr
+from repro.baseband.hop import HopSelector
 from repro.config import SimulationConfig
 from repro.errors import ProtocolError
 from repro.link.device import BluetoothDevice
@@ -66,6 +67,14 @@ class Session:
             config = SimulationConfig(seed=seed).with_ber(ber)
         self.config = config
         self.sim = Simulator()
+        # Adaptive hop sets are world-scoped (shared per-address selector
+        # state), so a fresh world must not inherit a previous session's
+        # maps.  Consequence: at most one AFH-using Session may be *live*
+        # per process — constructing a second one strips the first's maps
+        # (sequential sessions, the only pattern in this codebase, are
+        # fine; a world-keyed registry is the lift if interleaved
+        # sessions ever become a requirement, see ROADMAP).
+        HopSelector.clear_afh_maps()
         self.rngs = RandomStreams(config.seed)
         self.channel = Channel(self.sim, "channel", config, self.rngs)
         self.devices: list[BluetoothDevice] = []

@@ -22,6 +22,14 @@ Modes:
   phase-by-phase with the page/inquiry trains.
 * ``connection`` — clock bits mixed into A/C/D/F give the pseudo-random
   79-channel sequence of the piconet.
+* ``connection`` + **AFH** — when an adaptive channel map is installed
+  (spec 1.2 adaptive frequency hopping, see :meth:`HopSelector.set_afh_map`)
+  the same kernel runs, and selections landing on an unused channel are
+  remapped onto index ``k mod N`` of the N used channels (ordered like the
+  channel register: even ascending, then odd), ``k`` being the kernel's
+  pre-register output — the spec's remapping rule.  The remap is an array
+  transform on the windowed/vectorized kernel, so the hot path keeps being
+  served by :meth:`HopSelector.connection_many` prefills.
 
 The PERM5 butterfly *wiring* below follows the spec's structure (7 stages,
 two controlled exchanges each); the exact wire order is not load-bearing for
@@ -90,6 +98,36 @@ def _bits(value: int, positions: tuple[int, ...]) -> int:
     return out
 
 
+def afh_channel_register(used_mask: np.ndarray) -> np.ndarray:
+    """The AFH remapping register for a boolean used-channel mask: by
+    definition the basic channel register (even channels ascending, then
+    odd) filtered to the used channels — derived from it directly so the
+    ordering rule lives in one place."""
+    register = _CHANNEL_REGISTER_ARRAY[used_mask[_CHANNEL_REGISTER_ARRAY]]
+    register.setflags(write=False)
+    return register
+
+
+class AfhMap:
+    """An installed adaptive hop set: mask, remap register and its size."""
+
+    __slots__ = ("used_mask", "register", "n_used")
+
+    def __init__(self, used_mask: np.ndarray):
+        # always copy: freezing the caller's own array in place would make
+        # their next mask update raise
+        mask = np.array(used_mask, dtype=bool)
+        if mask.shape != (units.NUM_CHANNELS,):
+            raise ValueError(
+                f"channel map must have {units.NUM_CHANNELS} entries")
+        if not mask.any():
+            raise ValueError("AFH map must keep at least one used channel")
+        mask.setflags(write=False)
+        self.used_mask = mask
+        self.register = afh_channel_register(mask)
+        self.n_used = len(self.register)
+
+
 class HopSelector:
     """Hop-selection kernel bound to one 28-bit address.
 
@@ -106,6 +144,26 @@ class HopSelector:
     #: to exploit).
     _connection_memos: dict[int, dict[int, int]] = {}
     _MEMO_MAX = 1 << 15
+
+    #: Installed adaptive hop sets, keyed by hop address like the memos:
+    #: the master installs the map through its piconet and every member's
+    #: selector (bound to the same master address) picks it up here — the
+    #: model's stand-in for the LMP_set_AFH handshake, which keeps master
+    #: and slaves remapping in lockstep.  Installing or clearing a map
+    #: empties that address's shared connection memo (its cached
+    #: frequencies were computed under the previous map).  Maps are
+    #: world-scoped state: :class:`repro.api.Session` clears the registry
+    #: when a fresh simulation world is built.
+    _afh_maps: dict[int, AfhMap] = {}
+
+    #: Bumped on every map install/clear.  A selector's memoized
+    #: ``connection`` path compares its seen generation against this and
+    #: lazily re-binds to the registry's canonical (freshly cleared) memo
+    #: dict on mismatch — so even a selector whose dict was orphaned by
+    #: the 64-address memo-registry eviction can never serve a pre-remap
+    #: frequency after a map change (between map changes, fragmented
+    #: dicts are harmless: the kernel is pure in (address, clk, map)).
+    _afh_generation = 0
 
     #: Slots precomputed per connection-memo miss: a miss at clock ``clk``
     #: fills a sliding window ``clk, clk+2, ..`` (same clock parity — the
@@ -131,6 +189,12 @@ class HopSelector:
         # Monte-Carlo campaigns draw fresh addresses per trial, so the
         # registry of shared memos is bounded as well: at 64 addresses the
         # whole registry is dropped (live selectors keep their own dicts)
+        self._bind_shared_memo()
+
+    def _bind_shared_memo(self) -> None:
+        """(Re-)attach to the registry's canonical memo dict for this
+        address, creating it (under the 64-address bound) if needed, and
+        record the AFH generation the binding is valid for."""
         memos = self._connection_memos
         memo = memos.get(self.address)
         if memo is None:
@@ -138,6 +202,7 @@ class HopSelector:
                 memos.clear()
             memo = memos[self.address] = {}
         self._connection_memo = memo
+        self._afh_seen_generation = HopSelector._afh_generation
 
     # -- derived address fields (spec notation A27..A0) --------------------
 
@@ -163,13 +228,58 @@ class HopSelector:
 
     # -- the selection box ---------------------------------------------------
 
-    def _select(self, x: int, y1: int, y2: int, a: int, b: int, c: int, d: int, f: int) -> int:
+    def _select_index(self, x: int, y1: int, y2: int, a: int, b: int, c: int,
+                      d: int, f: int) -> int:
+        """The kernel's pre-register output (the AFH remap keys off it)."""
         z1 = (x + a) % 32
         z2 = z1 ^ (b & 0xF) ^ (y1 * 0b10000)
         control = (c << 9) | d  # 14 control bits
         z3 = perm5(z2, control)
-        index = (z3 + self._e + f + y2) % units.NUM_CHANNELS
-        return CHANNEL_REGISTER[index]
+        return (z3 + self._e + f + y2) % units.NUM_CHANNELS
+
+    def _select(self, x: int, y1: int, y2: int, a: int, b: int, c: int, d: int, f: int) -> int:
+        return CHANNEL_REGISTER[self._select_index(x, y1, y2, a, b, c, d, f)]
+
+    # -- adaptive hop set (AFH) ----------------------------------------------
+
+    @property
+    def afh_map(self) -> AfhMap | None:
+        """The adaptive hop set installed for this hop address, if any."""
+        return self._afh_maps.get(self.address)
+
+    def set_afh_map(self, used_mask: np.ndarray | None) -> None:
+        """Install (or clear, with ``None``) the adaptive hop set.
+
+        All selectors bound to this hop address — the master's and every
+        slave's — see the new map immediately, and the address's shared
+        connection memo is dropped so no stale pre-remap frequency
+        survives.
+        """
+        if used_mask is None:
+            if self._afh_maps.pop(self.address, None) is None:
+                return
+        else:
+            self._afh_maps[self.address] = AfhMap(used_mask)
+        memo = self._connection_memos.get(self.address)
+        if memo is not None:
+            memo.clear()
+        # invalidate every selector's binding (including ones holding
+        # memo dicts orphaned by the registry eviction — see
+        # _afh_generation); they re-bind to the cleared canonical dict
+        # on their next memoized lookup
+        HopSelector._afh_generation += 1
+
+    @classmethod
+    def clear_afh_maps(cls) -> None:
+        """Drop every installed adaptive hop set (fresh-world reset)."""
+        if not cls._afh_maps:
+            return
+        for address in cls._afh_maps:
+            memo = cls._connection_memos.get(address)
+            if memo is not None:
+                memo.clear()
+        cls._afh_maps.clear()
+        cls._afh_generation += 1
 
     # -- public modes ---------------------------------------------------------
 
@@ -214,7 +324,11 @@ class HopSelector:
         return self._phase_select("resp", (phase + n) % 32, 1, 32)
 
     def connection(self, clk: int) -> int:
-        """Basic channel hopping in connection state at piconet clock CLK."""
+        """Channel hopping in connection state at piconet clock CLK (with
+        the AFH remap applied whenever an adaptive hop set is installed
+        for this address)."""
+        if self._afh_seen_generation != HopSelector._afh_generation:
+            self._bind_shared_memo()
         freq = self._connection_memo.get(clk)
         if freq is None:
             freq = self._connection_fill(clk)
@@ -233,8 +347,13 @@ class HopSelector:
             c = self._c ^ ((clk >> 16) & 0x1F)
             d = self._d ^ ((clk >> 7) & 0x1FF)
             f = (16 * ((clk >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
-            freq = self._select(x=x, y1=y1, y2=32 * y1, a=a, b=self._b,
-                                c=c, d=d, f=f)
+            index = self._select_index(x=x, y1=y1, y2=32 * y1, a=a,
+                                       b=self._b, c=c, d=d, f=f)
+            freq = CHANNEL_REGISTER[index]
+            afh = self._afh_maps.get(self.address)
+            if afh is not None and not afh.used_mask[freq]:
+                # spec remap: pre-register index mod N into the used set
+                freq = int(afh.register[index % afh.n_used])
             if len(memo) >= self._MEMO_MAX:
                 memo.clear()
             memo[clk] = freq
@@ -246,13 +365,8 @@ class HopSelector:
         memo.update(zip(clks.tolist(), freqs.tolist()))
         return memo[clk]
 
-    def connection_many(self, clks: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`connection` over an array of clock values.
-
-        Exactly equivalent element-by-element (enforced by the fast-path
-        equivalence suite); used by the hop-uniformity diagnostics, which
-        evaluate the kernel over thousands of consecutive slots.
-        """
+    def _connection_indices(self, clks: np.ndarray) -> np.ndarray:
+        """Vectorized pre-register kernel output for an array of clocks."""
         clks = np.asarray(clks, dtype=np.int64)
         x = (clks >> 2) & 0x1F
         y1 = (clks >> 1) & 1
@@ -263,8 +377,27 @@ class HopSelector:
         z1 = (x + a) % 32
         z2 = z1 ^ (self._b & 0xF) ^ (y1 * 0b10000)
         z3 = perm5_many(z2, (c << 9) | d)
-        index = (z3 + self._e + f + 32 * y1) % units.NUM_CHANNELS
-        return _CHANNEL_REGISTER_ARRAY[index]
+        return (z3 + self._e + f + 32 * y1) % units.NUM_CHANNELS
+
+    def connection_many(self, clks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`connection` over an array of clock values.
+
+        Exactly equivalent element-by-element (enforced by the fast-path
+        equivalence suite), including the AFH remap when an adaptive hop
+        set is installed — the remap is a pure array transform
+        (mask-gather on the used-channel register), so the windowed-hop
+        prefill keeps serving the hot path untouched.  Used by the
+        hop-uniformity diagnostics, which evaluate the kernel over
+        thousands of consecutive slots.
+        """
+        index = self._connection_indices(clks)
+        freqs = _CHANNEL_REGISTER_ARRAY[index]
+        afh = self._afh_maps.get(self.address)
+        if afh is not None:
+            remap = ~afh.used_mask[freqs]
+            if remap.any():
+                freqs[remap] = afh.register[index[remap] % afh.n_used]
+        return freqs
 
     def train_frequencies(self, clke: int, koffset: int) -> list[int]:
         """The 16 distinct frequencies the train sweeps around ``clke``:

@@ -8,6 +8,7 @@ calibration constants documented in DESIGN.md section 3.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro import units
@@ -36,6 +37,82 @@ class NoiseConfig:
             raise ConfigError(f"BER must lie in [0, 0.5), got {self.ber}")
         if self.burst_avg_len < 1.0:
             raise ConfigError("burst_avg_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class SirConfig:
+    """Carrier-offset SIR capture model of the channel resolver.
+
+    The defaults are the **degenerate profile**: infinite adjacent-channel
+    rejection and a 0 dB capture threshold make the resolver byte-identical
+    to the binary per-RF-channel collision model the reproduction used
+    before (any co-channel overlap between equal-power transmissions is
+    destructive for both, adjacent channels never interact) — guarded by
+    the PR-4 golden digests in ``tests/phy/test_sir_capture.py``.
+
+    Attributes:
+        aci_rejection_1_db: receiver rejection of an interferer one RF
+            channel (1 MHz) away, in dB.  ``inf`` (default) means adjacent
+            channels do not interact at all.
+        aci_rejection_2_db: rejection of an interferer two channels away.
+        capture_threshold_db: a reception survives interference when its
+            signal-to-interference ratio *exceeds* this threshold (strict,
+            so equal-power co-channel overlaps stay destructive at the
+            default 0 dB).  Typical capture radios use ~8-11 dB C/I.
+    """
+
+    aci_rejection_1_db: float = math.inf
+    aci_rejection_2_db: float = math.inf
+    capture_threshold_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("aci_rejection_1_db", "aci_rejection_2_db"):
+            value = getattr(self, name)
+            if math.isnan(value) or value < 0:
+                raise ConfigError(f"{name} must be >= 0 dB (or inf)")
+        if not math.isfinite(self.capture_threshold_db):
+            raise ConfigError("capture_threshold_db must be finite")
+        if self.aci_rejection_2_db < self.aci_rejection_1_db:
+            raise ConfigError(
+                "aci_rejection_2_db cannot be below aci_rejection_1_db "
+                "(rejection grows with carrier offset)")
+
+
+@dataclass(frozen=True)
+class AfhConfig:
+    """Adaptive frequency hopping (spec 1.2 AFH, master-side assessment).
+
+    Attributes:
+        enabled: masters classify channels and remap the piconet's hop set
+            onto the good-channel subset (extension; off by default).
+        min_channels: floor of the adaptive hop set (spec: Nmin = 20).
+            When exclusion would shrink the set below this, the excluded
+            channels with the lowest measured PER are re-admitted.
+        bad_per_threshold: a channel is excluded when its measured PER
+            (failed reply fraction) reaches this value.
+        min_samples: transmissions observed on a channel before it is
+            eligible for classification.
+        assess_interval_slots: slots between channel assessments (the
+            classifier re-evaluates and, if the map changed, installs the
+            new hop set for master and slaves alike).
+    """
+
+    enabled: bool = False
+    min_channels: int = 20
+    bad_per_threshold: float = 0.5
+    min_samples: int = 4
+    assess_interval_slots: int = 400
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_channels <= units.NUM_CHANNELS:
+            raise ConfigError(
+                f"min_channels must be in 1..{units.NUM_CHANNELS}")
+        if not 0.0 < self.bad_per_threshold <= 1.0:
+            raise ConfigError("bad_per_threshold must lie in (0, 1]")
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if self.assess_interval_slots <= 0:
+            raise ConfigError("assess_interval_slots must be positive")
 
 
 @dataclass(frozen=True)
@@ -151,6 +228,9 @@ class SimulationConfig:
         seed: master seed; all randomness derives from it deterministically.
         noise: channel noise parameters.
         rf: RF front-end timing model.
+        sir: carrier-offset SIR capture parameters of the channel resolver
+            (degenerate binary-collision profile by default).
+        afh: adaptive-frequency-hopping parameters (disabled by default).
         link: link-controller parameters.
         bit_accurate: if True the channel encodes/decodes full air frames and
             flips individual bits; if False it uses the statistical per-stage
@@ -161,6 +241,8 @@ class SimulationConfig:
     seed: int = 0
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     rf: RfConfig = field(default_factory=RfConfig)
+    sir: SirConfig = field(default_factory=SirConfig)
+    afh: AfhConfig = field(default_factory=AfhConfig)
     link: LinkConfig = field(default_factory=LinkConfig)
     bit_accurate: bool = False
     trace: bool = False

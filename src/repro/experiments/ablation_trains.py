@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.api import Session
+from repro.stats.estimators import ci_cell
 from repro.experiments.common import ExperimentResult, paper_config, run_sweep
 from repro.stats.montecarlo import TrialOutcome, default_trials
 
@@ -48,6 +49,6 @@ def run(trials: int = 12, seed: int = 32,
         result.rows.append([
             point.label,
             round(point.mean.mean, 1),
-            round(point.mean.ci_halfwidth, 1),
+            ci_cell(point.mean.ci_halfwidth),
         ])
     return result

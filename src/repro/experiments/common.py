@@ -7,7 +7,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import units
 from repro.config import SimulationConfig
+from repro.link.page import PageTarget
 from repro.stats.executor import Executor, get_executor
 from repro.stats.montecarlo import TrialOutcome
 from repro.stats.sweep import Sweep, SweepPoint, run_flattened
@@ -65,6 +67,30 @@ def paper_config(ber: float = 0.0, seed: int = 0,
         config = dataclasses.replace(
             config, link=dataclasses.replace(config.link, **overrides))
     return config
+
+
+def page_up_pair(session, index: int = 0, label: str = "experiment"):
+    """Add one ``m{index}``/``s{index}`` master/slave pair to ``session``
+    and page it up under a 4096-slot guard (polled in 16-slot steps).
+
+    The shared bring-up protocol of the campaign builders
+    (``ext_interference``, ``ext_afh``) — kept in one place so their
+    scenarios stay protocol-identical and cross-comparable.  Raises
+    ``RuntimeError`` tagged with ``label`` when the page cannot complete.
+    """
+    master = session.add_device(f"m{index}")
+    slave = session.add_device(f"s{index}")
+    slave.start_page_scan()
+    box = []
+    master.start_page(PageTarget(addr=slave.addr,
+                                 clock_estimate=slave.clock),
+                      on_complete=box.append)
+    guard = session.sim.now + 4096 * units.SLOT_NS
+    while not box and session.sim.now < guard:
+        session.run_slots(16)
+    if not box or not box[0].success:
+        raise RuntimeError(f"{label}: page failed")
+    return master, slave
 
 
 def run_sweep(seed: int, trials: int, xs: list[tuple[float, str]],

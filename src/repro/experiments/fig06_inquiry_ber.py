@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro import units
 from repro.api import Session
+from repro.stats.estimators import ci_cell
 from repro.experiments.common import (
     PAPER_BER_GRID,
     ExperimentResult,
@@ -73,7 +74,7 @@ def run(trials: int = 12, seed: int = 1,
         result.rows.append([
             point.label,
             round(point.mean.mean, 1),
-            round(point.mean.ci_halfwidth, 1),
+            ci_cell(point.mean.ci_halfwidth),
             f"{point.success.successes}/{point.success.n}",
         ])
     return result

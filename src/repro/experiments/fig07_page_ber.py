@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.api import Session
+from repro.stats.estimators import ci_cell
 from repro.experiments.common import (
     PAPER_BER_GRID,
     ExperimentResult,
@@ -52,7 +53,7 @@ def run(trials: int = 15, seed: int = 2,
         result.rows.append([
             point.label,
             round(point.mean.mean, 1) if point.success.successes else float("nan"),
-            round(point.mean.ci_halfwidth, 1) if point.success.successes > 1 else float("nan"),
+            ci_cell(point.mean.ci_halfwidth),
             f"{point.success.successes}/{point.success.n}",
         ])
     return result

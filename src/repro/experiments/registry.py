@@ -8,6 +8,7 @@ from repro.experiments import (
     ablation_correlator,
     ablation_rf_delay,
     ablation_trains,
+    ext_afh,
     ext_interference,
     ext_packet_throughput,
     ext_power_lifecycle,
@@ -43,6 +44,8 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
                   "power per lifecycle phase (inquiry..park)"),
     "ext_interference": (ext_interference.run,
                          "goodput degradation vs co-located piconets"),
+    "ext_afh": (ext_afh.run,
+                "AFH goodput recovery vs statically jammed channels"),
     "ablation_rf_delay": (ablation_rf_delay.run,
                           "page success vs RF modem delay"),
     "ablation_correlator": (ablation_correlator.run,

@@ -27,6 +27,7 @@ from repro.baseband.clock import BtClock
 from repro.baseband.hop import HopSelector
 from repro.baseband.packets import Packet, PacketType
 from repro.errors import ProtocolError
+from repro.link.afh import AfhController
 from repro.link.arq import LinkArq
 from repro.link.buffers import InboundData
 from repro.link.hold import HoldSchedule, schedule_hold
@@ -64,6 +65,11 @@ class ConnectionMaster:
         self._beacon_interval_pairs: Optional[int] = None
         self.stats_tx_packets = 0
         self.stats_rx_packets = 0
+        # AFH (extension, off by default): the master classifies channels
+        # from its reply outcomes and adapts the piconet's hop set
+        self.afh: Optional[AfhController] = \
+            AfhController(piconet, device.cfg.afh) \
+            if device.cfg.afh.enabled else None
 
     # ------------------------------------------------------------------
 
@@ -131,6 +137,11 @@ class ConnectionMaster:
         if device.rf.rx_open:
             device.rf.rx_off()
         pair = self.pair_index()
+        if self.afh is not None:
+            # assess before picking this pair's frequency, so a fresh map
+            # applies from this very slot on (the slaves' selectors see it
+            # through the shared per-address hop state)
+            self.afh.maybe_assess(pair)
         self._expire_holds(pair)
         action = self.policy.choose(self, pair)
         if action is None:
@@ -175,6 +186,8 @@ class ConnectionMaster:
         device.rf.transmit(freq, packet, uap=device.addr.uap,
                            meta=TxMeta(purpose=action.kind))
         self.stats_tx_packets += 1
+        if self.afh is not None:
+            self.afh.note_tx(freq)  # data/POLL both solicit a reply
         reply_offset = packet.ptype.info.slots * units.SLOT_NS
         device.sim.schedule(reply_offset, self._rx_slot)
 
@@ -215,6 +228,8 @@ class ConnectionMaster:
             return
         arq = self.arq[am_addr]
         self.stats_rx_packets += 1
+        if self.afh is not None:
+            self.afh.note_reply()
         # the reply (even a NULL) proves the slave is back on the channel;
         # do not touch the mode if a *new* hold has already been scheduled
         # (the reply may have been in flight when it was set up)

@@ -88,11 +88,27 @@ class Piconet:
     def hop_sequence(self, clk_start: int, slots: int) -> np.ndarray:
         """The piconet's hop frequencies over a window of ``slots`` slots
         starting at clock ``clk_start`` (stride 2 CLK ticks per slot),
-        computed in one vectorized pass.  Dense-deployment diagnostics use
-        this to predict co-channel overlap between piconets without
-        stepping the scalar kernel slot by slot."""
+        computed in one vectorized pass — including the AFH remap whenever
+        an adaptive hop set is installed (see :meth:`set_channel_map`).
+        Dense-deployment diagnostics use this to predict co-channel
+        overlap between piconets without stepping the scalar kernel slot
+        by slot."""
         clks = clk_start + 2 * np.arange(slots, dtype=np.int64)
         return self.hop_selector.connection_many(clks)
+
+    def set_channel_map(self, used_mask: Optional[np.ndarray]) -> None:
+        """Install (or clear, with ``None``) the piconet's adaptive hop
+        set.  Every member's selector is bound to the master's hop
+        address, so the new map takes effect for master and slaves in
+        lockstep (the model's stand-in for the LMP_set_AFH exchange)."""
+        self.hop_selector.set_afh_map(used_mask)
+
+    @property
+    def channel_map(self) -> Optional[np.ndarray]:
+        """The installed used-channel mask, or ``None`` when the piconet
+        hops over all 79 channels."""
+        afh = self.hop_selector.afh_map
+        return None if afh is None else afh.used_mask
 
     def allocate_am_addr(self) -> int:
         """Lowest free AM_ADDR (1..7)."""

@@ -5,11 +5,18 @@ Responsibilities:
 * **Noise** — bit inversions at the configured BER, either by flipping real
   encoded bits (bit-accurate mode) or by sampling the per-stage decode
   outcome from the closed-form model (statistical mode).
-* **Collision resolution** — two transmissions overlapping on the same RF
-  channel corrupt each other; every affected reception decodes as garbage
-  (the resolver's 'X'). Unlike the paper's frequency-less resolver we track
-  collisions per RF channel, which is strictly more accurate and is needed
-  for the multi-piconet extension.
+* **Collision resolution** — a carrier-offset **SIR capture model**: every
+  transmission accumulates the interference power of co-channel and
+  adjacent-channel (±1/±2 MHz, attenuated by the configured ACI rejection)
+  overlappers plus any parked static interferers, and is destroyed (the
+  resolver's 'X') when its signal-to-interference ratio fails to exceed
+  the capture threshold.  The default :class:`~repro.config.SirConfig` is
+  degenerate — infinite adjacent rejection, 0 dB threshold, equal powers —
+  which reproduces the old binary per-RF-channel resolver byte-for-byte
+  (the retained legacy resolver behind :attr:`Channel.sir_capture` and the
+  PR-4 golden digests enforce this).  Unlike the paper's frequency-less
+  resolver we track interference per RF channel, which is strictly more
+  accurate and is needed for the multi-piconet extension.
 * **Modem delay** — receivers perceive all stage times shifted by the
   configured modulator+demodulator latency.
 * **Staged delivery** — carrier-on at TX start, sync-word decision 68 µs in,
@@ -46,6 +53,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from typing import Iterable
 
 from repro.baseband.codec import (
     DecodeResult,
@@ -69,6 +77,11 @@ from repro.sim.simulator import Simulator
 #: Registry key of a frequency-following receiver (its tuned channel is a
 #: function of time, so it is a candidate for every transmission).
 _FOLLOWING = -1
+
+
+def _dbm_to_mw(dbm: float) -> float:
+    """Linear power; -inf dBm maps to exactly 0 mW."""
+    return 10.0 ** (dbm / 10.0)
 
 
 @dataclass
@@ -116,6 +129,15 @@ class Channel(Module):
     #: each delivery, preserving collision flags raised mid-batch.)
     batch_sync = True
 
+    #: Resolve overlaps through the carrier-offset SIR capture model
+    #: (``False`` restores the pre-change binary resolver: any co-channel
+    #: overlap corrupts both transmissions unconditionally, adjacent
+    #: channels and static interferers are invisible — retained as the
+    #: reference path for the capture-model equivalence suite).  With the
+    #: default degenerate :class:`~repro.config.SirConfig` the two paths
+    #: are byte-identical on equal-power workloads.
+    sir_capture = True
+
     def __init__(self, sim: Simulator, name: str, config: SimulationConfig,
                  rngs: RandomStreams):
         super().__init__(sim, name, parent=None)
@@ -139,6 +161,38 @@ class Channel(Module):
         else:
             self.noise = BerNoise(config.noise.ber, noise_rng)
         self.stage_model = StageErrorModel(config.noise.ber, rngs.stream("channel.stages"))
+        # SIR capture profile: linear ACI gains by |carrier offset| and the
+        # linear capture ratio.  Infinite rejection gives an exact 0.0 gain,
+        # so the degenerate default never visits adjacent buckets at all.
+        sir = config.sir
+        self._aci_gain = (
+            1.0,
+            _dbm_to_mw(-sir.aci_rejection_1_db),
+            _dbm_to_mw(-sir.aci_rejection_2_db),
+        )
+        if self._aci_gain[2] > 0.0:
+            self._aci_span = 2
+        elif self._aci_gain[1] > 0.0:
+            self._aci_span = 1
+        else:
+            self._aci_span = 0
+        self._capture_ratio = _dbm_to_mw(sir.capture_threshold_db)
+        # static interference floor per RF channel (linear mW), lazily
+        # allocated by add_static_interferer
+        self._static_mw: list[float] | None = None
+        # On the degenerate profile, while every transmission uses the
+        # default 0 dBm and no static interferer exists, the capture
+        # resolution of an overlap is *provably* "corrupt both" — so the
+        # hot path keeps the legacy-shaped 3-line loop and skips the
+        # accumulation bookkeeping.  The flag drops (stickily) at the
+        # first custom-power transmission or static interferer, because
+        # from then on live-overlap outcomes depend on actual powers.
+        # Sound across the switch: under the trivial regime any live
+        # transmission that ever overlapped is already corrupted, and an
+        # uncorrupted one has zero accumulated interference — exactly
+        # what its interference_mw field says.
+        self._capture_trivial = \
+            self._aci_span == 0 and self._capture_ratio == 1.0
         self.transmissions = 0
         self.collisions = 0
 
@@ -190,8 +244,41 @@ class Channel(Module):
     # Transmit path
     # ------------------------------------------------------------------
 
+    def add_static_interferer(self, channels: Iterable[int],
+                              power_dbm: float = 0.0) -> None:
+        """Park a constant interferer on a set of RF channels.
+
+        Every subsequent transmission sees ``power_dbm`` of interference on
+        each of the given channels (plus the ACI-attenuated spill onto
+        their ±1/±2 MHz neighbours when the configured rejection is
+        finite) for its whole time on air — the dense-deployment model of
+        e.g. a Wi-Fi carrier or a microwave oven, and the workload the
+        ``ext_afh`` experiment recovers from.  Requires the SIR capture
+        resolver (:attr:`sir_capture`); the legacy binary resolver has no
+        notion of non-Bluetooth energy.
+        """
+        if not self.sir_capture:
+            raise ChannelError(
+                "static interferers require the SIR capture resolver")
+        channels = list(channels)
+        for channel in channels:  # validate before any state mutates
+            if not 0 <= channel < 79:
+                raise ChannelError(f"RF channel out of range: {channel}")
+        self._capture_trivial = False
+        power = _dbm_to_mw(power_dbm)
+        if self._static_mw is None:
+            self._static_mw = [0.0] * 79
+        span = self._aci_span
+        for channel in channels:
+            for offset in range(-span, span + 1):
+                neighbour = channel + offset
+                if 0 <= neighbour < 79:
+                    self._static_mw[neighbour] += \
+                        power * self._aci_gain[abs(offset)]
+
     def transmit(self, radio: RfFrontEnd, freq: int, packet: Packet,
-                 uap: int = 0, meta: TxMeta | None = None) -> Transmission:
+                 uap: int = 0, meta: TxMeta | None = None,
+                 power_dbm: float = 0.0) -> Transmission:
         """Put a packet on the air and schedule listener-side stages."""
         if not 0 <= freq < 79:
             raise ChannelError(f"RF channel out of range: {freq}")
@@ -204,21 +291,31 @@ class Channel(Module):
             duration_ns=packet.duration_ns,
             tx_clk=_whiten_clk(packet, radio, now),
             tx_uap=uap,
+            power_mw=1.0 if power_dbm == 0.0 else _dbm_to_mw(power_dbm),
             meta=meta if meta is not None else TxMeta(),
         )
         if self.config.bit_accurate:
             tx.air_bits = encode_packet(packet, uap=tx.tx_uap, clk=tx.tx_clk)
         self.transmissions += 1
 
-        # collision resolution: any live overlap on the same frequency
-        live = self._active_by_freq.setdefault(freq, {})
-        for other in live.values():
-            if other.end_ns <= now:  # expiry event not yet fired
-                continue
-            other.corrupted = True
-            tx.corrupted = True
-            self.collisions += 1
-        live[id(tx)] = tx
+        if self.sir_capture and not (self._capture_trivial
+                                     and power_dbm == 0.0):
+            self._capture_trivial = False  # a custom-power tx is now live
+            self._resolve_capture(tx, now)
+        else:
+            # binary overlap resolution: any live overlap on the same
+            # frequency corrupts both transmissions unconditionally.
+            # Serves as the legacy reference resolver (sir_capture=False)
+            # *and* as the capture model's degenerate fast path (see
+            # _capture_trivial) — the equivalence the capture suite pins.
+            live = self._active_by_freq.setdefault(freq, {})
+            for other in live.values():
+                if other.end_ns <= now:  # expiry event not yet fired
+                    continue
+                other.corrupted = True
+                tx.corrupted = True
+                self.collisions += 1
+            live[id(tx)] = tx
 
         # Scan for listeners one delta cycle later, so that receivers being
         # retuned/opened by other events at this same instant (e.g. a slave
@@ -228,6 +325,56 @@ class Channel(Module):
         self.sim.schedule_delta(partial(self._scan_listeners, tx))
         self.sim.schedule_abs(now + tx.duration_ns, partial(self._expire, tx))
         return tx
+
+    def _resolve_capture(self, tx: Transmission, now: int) -> None:
+        """Carrier-offset SIR capture resolution for a new transmission.
+
+        Accumulates interference power — the static floor plus every live
+        overlapper within the ACI span, attenuated by the per-offset gain —
+        onto both sides of each overlap, and marks a transmission corrupted
+        once its SIR no longer *exceeds* the capture threshold.  Corruption
+        is sticky (interference only accumulates over a packet's lifetime,
+        mirroring the legacy rule that an overlap during any part of the
+        packet destroys it) and is re-read at every staged delivery, so a
+        mid-air capture loss still voids a reception whose sync stage
+        already fired.
+
+        ``collisions`` counts destructive overlap pairs: incremented once
+        per examined pair in which either side is corrupted after the
+        update — on the degenerate profile every co-channel pair qualifies
+        and adjacent buckets are never visited, making counter, flags and
+        event schedule byte-identical to the legacy resolver.
+        """
+        interference = self._static_mw[tx.freq] if self._static_mw else 0.0
+        capture = self._capture_ratio
+        power = tx.power_mw
+        corrupted = tx.corrupted
+        for offset in range(-self._aci_span, self._aci_span + 1):
+            gain = self._aci_gain[abs(offset)]
+            if gain <= 0.0:
+                continue
+            neighbour = tx.freq + offset
+            if not 0 <= neighbour < 79:
+                continue
+            live = self._active_by_freq.get(neighbour)
+            if not live:
+                continue
+            for other in live.values():
+                if other.end_ns <= now:  # expiry event not yet fired
+                    continue
+                interference += other.power_mw * gain
+                other.interference_mw += power * gain
+                if other.power_mw <= other.interference_mw * capture:
+                    other.corrupted = True
+                if power <= interference * capture:
+                    corrupted = True
+                if corrupted or other.corrupted:
+                    self.collisions += 1
+        tx.interference_mw = interference
+        if power <= interference * capture:
+            corrupted = True
+        tx.corrupted = corrupted
+        self._active_by_freq.setdefault(tx.freq, {})[id(tx)] = tx
 
     def _scan_listeners(self, tx: Transmission) -> None:
         fixed = self._tuned_by_freq.get(tx.freq)
@@ -381,6 +528,33 @@ class Channel(Module):
             return self.config.link.id_sync_threshold
         return self.config.link.sync_threshold
 
+    @staticmethod
+    def _id_result(lap: int, detected: bool) -> DecodeResult:
+        """ID-packet decode outcome from its correlator decision (shared
+        by the scalar and batch statistical paths, which must stay
+        byte-identical)."""
+        if not detected:
+            return DecodeResult(synced=False, stage="sync")
+        return DecodeResult(synced=True, header_ok=True, payload_ok=True,
+                            packet=Packet(ptype=PacketType.ID, lap=lap),
+                            stage="payload")
+
+    @staticmethod
+    def _stage_result(packet: Packet, synced: bool, header_ok: bool,
+                      payload_ok: bool) -> DecodeResult:
+        """Framed-packet decode outcome from its stage draws (shared by
+        the scalar and batch statistical paths)."""
+        if not synced:
+            return DecodeResult(synced=False, stage="sync")
+        if not header_ok:
+            return DecodeResult(synced=True, header_ok=False, stage="header")
+        result = DecodeResult(synced=True, header_ok=True,
+                              payload_ok=payload_ok, packet=packet,
+                              stage="payload")
+        result.set_header_fields(packet.am_addr, packet.ptype.info.code,
+                                 packet.arqn, packet.seqn)
+        return result
+
     def _full_decode(self, tx: Transmission, listener: RfFrontEnd) -> DecodeResult:
         expect = listener.expect
         if expect is None or expect.lap != tx.packet.lap:
@@ -397,37 +571,31 @@ class Channel(Module):
                                  sync_threshold=threshold)
         packet = tx.packet
         if packet.ptype is PacketType.ID:
-            if not self.stage_model.sample_sync(threshold):
-                return DecodeResult(synced=False, stage="sync")
-            return DecodeResult(synced=True, header_ok=True, payload_ok=True,
-                                packet=Packet(ptype=PacketType.ID, lap=packet.lap),
-                                stage="payload")
+            return self._id_result(packet.lap,
+                                   self.stage_model.sample_sync(threshold))
         # one batched call per framed packet: same draw sequence as the
         # separate sample_sync/sample_header/sample_payload chain
-        synced, header_ok, payload_ok = self.stage_model.sample_stages(
-            packet.ptype, len(packet.payload), threshold)
-        if not synced:
-            return DecodeResult(synced=False, stage="sync")
-        if not header_ok:
-            return DecodeResult(synced=True, header_ok=False, stage="header")
-        result = DecodeResult(synced=True, header_ok=True,
-                              payload_ok=payload_ok, packet=packet,
-                              stage="payload")
-        result.set_header_fields(packet.am_addr, packet.ptype.info.code,
-                                 packet.arqn, packet.seqn)
-        return result
+        return self._stage_result(packet, *self.stage_model.sample_stages(
+            packet.ptype, len(packet.payload), threshold))
 
     def _full_decode_batch(self, tx: Transmission,
                            listeners: list[RfFrontEnd]) -> list[DecodeResult]:
         """Decode outcomes for every admitted listener of one transmission.
 
-        Statistical mode draws per listener exactly like the scalar path.
-        Bit-accurate mode draws each listener's noise pattern in listener
-        order (identical noise-stream consumption), then resolves all noisy
-        frames through one :func:`decode_packets` call.
+        Statistical mode draws the whole batch's sync/header/payload chains
+        through :meth:`StageErrorModel.sample_stages_batch` (stream- and
+        outcome-identical to the scalar per-listener loop, which remains
+        the reference via ``batch_sync=False``).  Bit-accurate mode draws
+        each listener's noise pattern in listener order (identical
+        noise-stream consumption), then resolves all noisy frames through
+        one :func:`decode_packets` call.  A single listener takes the
+        scalar decode outright — same draws, none of the batch
+        bookkeeping.
         """
+        if len(listeners) == 1:
+            return [self._full_decode(tx, listeners[0])]
         if not self.config.bit_accurate:
-            return [self._full_decode(tx, listener) for listener in listeners]
+            return self._stage_draw_batch(tx, listeners)
         assert tx.air_bits is not None
         threshold = self._threshold_for(tx.packet)
         results: list[DecodeResult | None] = [None] * len(listeners)
@@ -447,6 +615,34 @@ class Channel(Module):
                                      sync_threshold=threshold)
             for index, result in zip(slots, decoded):
                 results[index] = result
+        return results
+
+    def _stage_draw_batch(self, tx: Transmission,
+                          listeners: list[RfFrontEnd]) -> list[DecodeResult]:
+        """Statistical-mode batch: one access-code screen pass, then the
+        matching listeners' stage chains drawn in a single batched call
+        (byte-identical draws to looping :meth:`_full_decode`)."""
+        packet = tx.packet
+        results: list[DecodeResult | None] = [None] * len(listeners)
+        drawn: list[int] = []
+        for index, listener in enumerate(listeners):
+            expect = listener.expect
+            if expect is None or expect.lap != packet.lap:
+                results[index] = DecodeResult(synced=False, stage="sync")
+            else:
+                drawn.append(index)
+        if not drawn:
+            return results
+        threshold = self._threshold_for(packet)
+        if packet.ptype is PacketType.ID:
+            synced = self.stage_model.sample_sync_batch(threshold, len(drawn))
+            for index, ok in zip(drawn, synced):
+                results[index] = self._id_result(packet.lap, ok)
+            return results
+        stages = self.stage_model.sample_stages_batch(
+            packet.ptype, len(packet.payload), threshold, len(drawn))
+        for index, outcome in zip(drawn, stages):
+            results[index] = self._stage_result(packet, *outcome)
         return results
 
 

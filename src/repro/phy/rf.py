@@ -137,15 +137,20 @@ class RfFrontEnd(Module):
     # Transmitter control
     # ------------------------------------------------------------------
 
-    def transmit(self, freq: int, packet, uap: int = 0, meta=None) -> "Transmission":
+    def transmit(self, freq: int, packet, uap: int = 0, meta=None,
+                 power_dbm: float = 0.0) -> "Transmission":
         """Send ``packet`` on ``freq`` now. The radio must not be mid-TX.
 
         ``uap`` initialises the HEC/CRC of the frame (the UAP of the device
-        whose access code the packet is sent under).
+        whose access code the packet is sent under).  ``power_dbm`` feeds
+        the channel's SIR capture resolver (all Bluetooth class-2 radios
+        transmit at the same 0 dBm default, so links never specify it; the
+        capture test-benches do).
         """
         if self.tx_busy:
             raise ChannelError(f"{self.path}: transmit while already transmitting")
-        tx = self.channel.transmit(self, freq, packet, uap=uap, meta=meta)
+        tx = self.channel.transmit(self, freq, packet, uap=uap, meta=meta,
+                                   power_dbm=power_dbm)
         self._tx_until_ns = tx.end_ns
         self.enable_tx.write(True)
         self.sim.schedule_abs(tx.end_ns, self._tx_done)

@@ -46,8 +46,13 @@ class Transmission:
             receivers perceive everything shifted by the modem delay).
         tx_clk: the clock value the transmitter encoded with (whitening).
         tx_uap: the UAP the transmitter encoded with (HEC/CRC init).
-        corrupted: set when another transmission overlapped on the same
-            frequency (the channel resolver's 'X').
+        corrupted: set when interference on or next to this frequency
+            drove the reception's SIR below the capture threshold (the
+            channel resolver's 'X'; sticky for the packet's lifetime).
+        power_mw: transmit power in linear milliwatts (0 dBm default).
+        interference_mw: linear interference power accumulated by the
+            resolver over the packet's time on air (co-channel plus
+            ACI-attenuated adjacent-channel contributions).
         meta: link-layer side information.
     """
 
@@ -60,6 +65,8 @@ class Transmission:
     tx_uap: int = 0
     air_bits: Optional[np.ndarray] = None
     corrupted: bool = False
+    power_mw: float = 1.0
+    interference_mw: float = 0.0
     meta: TxMeta = field(default_factory=TxMeta)
 
     @property

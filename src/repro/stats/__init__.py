@@ -3,6 +3,7 @@
 from repro.stats.estimators import (
     MeanEstimate,
     ProportionEstimate,
+    ci_cell,
     mean_with_ci,
     wilson_interval,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "Sweep",
     "SweepPoint",
     "TrialOutcome",
+    "ci_cell",
     "default_jobs",
     "derive_seed",
     "format_table",

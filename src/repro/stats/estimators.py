@@ -10,13 +10,44 @@ from typing import Sequence
 Z95 = 1.959963984540054
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MeanEstimate:
-    """Sample mean with a normal-approximation confidence interval."""
+    """Sample mean with a normal-approximation confidence interval.
+
+    At ``n < 2`` the half-width is undefined (there is no variance
+    estimate) and carried as a flagged NaN — check :attr:`ci_defined`
+    before doing arithmetic with it, or render it with :func:`ci_cell`.
+
+    ``eq=False``: equality is hand-written (NaN-aware, below); with the
+    default ``eq=True`` the frozen-dataclass machinery would additionally
+    install a field-based ``__hash__`` inconsistent with it.
+    """
 
     mean: float
     ci_halfwidth: float
     n: int
+
+    def __eq__(self, other: object) -> bool:
+        # the undefined-CI flag (and the empty-input NaN mean) is a
+        # sentinel: two flagged estimates of the same sample are the same
+        # estimate, so equality treats NaN fields as equal — the
+        # parallel-vs-sequential equivalence suites compare aggregates
+        # containing them
+        if not isinstance(other, MeanEstimate):
+            return NotImplemented
+
+        def same(a: float, b: float) -> bool:
+            return a == b or (math.isnan(a) and math.isnan(b))
+
+        return self.n == other.n and same(self.mean, other.mean) \
+            and same(self.ci_halfwidth, other.ci_halfwidth)
+
+    __hash__ = None  # NaN-tolerant equality has no consistent hash
+
+    @property
+    def ci_defined(self) -> bool:
+        """False when the half-width is the undefined-at-n<2 flag."""
+        return not math.isnan(self.ci_halfwidth)
 
     @property
     def lo(self) -> float:
@@ -27,20 +58,33 @@ class MeanEstimate:
         return self.mean + self.ci_halfwidth
 
     def __str__(self) -> str:
+        if not self.ci_defined:
+            return f"{self.mean:.1f} ± ? (n={self.n})"
         return f"{self.mean:.1f} ± {self.ci_halfwidth:.1f} (n={self.n})"
 
 
 def mean_with_ci(values: Sequence[float], z: float = Z95) -> MeanEstimate:
-    """Mean and z·SE half-width. Empty input gives NaN mean."""
+    """Mean and z·SE half-width. Empty input gives NaN mean; a single
+    sample gives the flagged-NaN half-width (an earlier revision returned
+    ``inf`` here, which trials=1 smoke runs archived as ``± inf`` rows in
+    benchmark reports)."""
     n = len(values)
     if n == 0:
         return MeanEstimate(mean=float("nan"), ci_halfwidth=float("nan"), n=0)
     mean = sum(values) / n
     if n == 1:
-        return MeanEstimate(mean=mean, ci_halfwidth=float("inf"), n=1)
+        return MeanEstimate(mean=mean, ci_halfwidth=float("nan"), n=1)
     var = sum((v - mean) ** 2 for v in values) / (n - 1)
     half = z * math.sqrt(var / n)
     return MeanEstimate(mean=mean, ci_halfwidth=half, n=n)
+
+
+def ci_cell(halfwidth: float, digits: int = 1):
+    """Table cell for a CI half-width: the undefined flag renders ``±?``
+    instead of leaking ``nan``/``inf`` into archived reports."""
+    if math.isnan(halfwidth) or math.isinf(halfwidth):
+        return "±?"
+    return round(halfwidth, digits)
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ def tiny_experiments(monkeypatch):
     equivalence suites, which execute many experiments end-to-end."""
     from repro.baseband.packets import PacketType
     from repro.experiments import (
+        ext_afh,
         ext_interference,
         ext_packet_throughput,
         fig06_inquiry_ber,
@@ -48,6 +49,9 @@ def tiny_experiments(monkeypatch):
         monkeypatch.setattr(module, "PAPER_BER_GRID", tiny_grid)
     monkeypatch.setattr(ext_interference, "PICONET_COUNTS", [1, 2])
     monkeypatch.setattr(ext_interference, "OBSERVE_SLOTS", 600)
+    monkeypatch.setattr(ext_afh, "INTERFERER_COUNTS", [0, 20])
+    monkeypatch.setattr(ext_afh, "LEARN_SLOTS", 1000)
+    monkeypatch.setattr(ext_afh, "OBSERVE_SLOTS", 600)
     monkeypatch.setattr(ext_packet_throughput, "PACKET_TYPES",
                         [PacketType.DM1, PacketType.DH5])
     monkeypatch.setattr(ext_packet_throughput, "BER_POINTS",

@@ -1,0 +1,53 @@
+"""AFH recovery campaign: the PR's acceptance criterion at test scale.
+
+With a static full-band interferer parked on 20 channels, ``ext_afh`` must
+show AFH-on goodput recovering at least 80 % of the clean-channel baseline
+while AFH-off stays degraded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_afh
+
+
+@pytest.fixture
+def tiny_campaign(monkeypatch):
+    monkeypatch.setattr(ext_afh, "INTERFERER_COUNTS", [0, 20])
+    monkeypatch.setattr(ext_afh, "LEARN_SLOTS", 1200)
+    monkeypatch.setattr(ext_afh, "OBSERVE_SLOTS", 800)
+    monkeypatch.delenv("REPRO_TRIALS", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
+class TestRecovery:
+    def test_afh_recovers_goodput_under_20_channel_jam(self, tiny_campaign):
+        result = ext_afh.run(trials=2, seed=41, jobs=1)
+        rows = {row[0]: row for row in result.rows}
+        clean_baseline = rows[0][1]  # AFH-off goodput on a clean band
+        jammed = rows[20]
+        goodput_off, goodput_on = jammed[1], jammed[2]
+        assert goodput_on >= 0.8 * clean_baseline, \
+            "AFH must recover >= 80% of the clean-channel baseline"
+        assert goodput_off < 0.8 * clean_baseline, \
+            "without AFH the jammed band must stay degraded"
+        assert goodput_on > goodput_off
+        # the recovery column mirrors the same comparison
+        assert jammed[4] >= 80.0
+        # converged hop set excludes the jam but respects N_min
+        assert 20 <= jammed[5] <= 59
+        assert all(row[-1] == "2/2" for row in result.rows)
+
+    def test_deterministic_across_reruns(self, tiny_campaign):
+        first = ext_afh.run(trials=2, seed=9, jobs=1)
+        second = ext_afh.run(trials=2, seed=9, jobs=1)
+        assert first.rows == second.rows
+
+    def test_clean_band_unaffected_by_afh(self, tiny_campaign):
+        """With nothing to exclude, AFH-on tracks AFH-off on a clean band
+        (the classifier finds no channel above threshold)."""
+        result = ext_afh.run(trials=2, seed=5, jobs=1)
+        clean = result.rows[0]
+        assert clean[2] == pytest.approx(clean[1], rel=0.02)
+        assert clean[5] == 79  # full hop set retained

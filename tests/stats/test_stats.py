@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.stats.estimators import mean_with_ci, wilson_interval
+from repro.stats.estimators import ci_cell, mean_with_ci, wilson_interval
 from repro.stats.montecarlo import (
     LEGACY_SEED_STRIDE,
     MonteCarlo,
@@ -26,8 +26,27 @@ class TestEstimators:
     def test_mean_empty(self):
         assert math.isnan(mean_with_ci([]).mean)
 
-    def test_mean_single_value_infinite_ci(self):
-        assert mean_with_ci([5.0]).ci_halfwidth == float("inf")
+    def test_mean_single_value_flags_undefined_ci(self):
+        estimate = mean_with_ci([5.0])
+        assert math.isnan(estimate.ci_halfwidth)  # flagged, not ± inf
+        assert not estimate.ci_defined
+        assert "± ?" in str(estimate)
+        assert mean_with_ci([1.0, 2.0]).ci_defined
+
+    def test_flagged_estimates_compare_equal_but_do_not_hash(self):
+        # the NaN flag is a sentinel: two flagged estimates of the same
+        # sample are equal, and no hash pretends to agree with that
+        assert mean_with_ci([5.0]) == mean_with_ci([5.0])
+        assert mean_with_ci([]) == mean_with_ci([])
+        assert mean_with_ci([5.0]) != mean_with_ci([6.0])
+        with pytest.raises(TypeError):
+            hash(mean_with_ci([5.0]))
+
+    def test_ci_cell_renders_undefined_as_question_mark(self):
+        assert ci_cell(mean_with_ci([5.0]).ci_halfwidth) == "±?"
+        assert ci_cell(float("inf")) == "±?"  # legacy archives, defensively
+        assert ci_cell(12.345) == 12.3
+        assert ci_cell(12.345, digits=2) == 12.35
 
     def test_ci_shrinks_with_n(self):
         wide = mean_with_ci([0.0, 10.0] * 3)
