@@ -25,7 +25,6 @@ from typing import Optional
 
 from repro import units
 from repro.baseband.address import BdAddr
-from repro.baseband.hop import HopSelector
 from repro.config import SimulationConfig
 from repro.errors import ProtocolError
 from repro.link.device import BluetoothDevice
@@ -34,6 +33,7 @@ from repro.link.page import PageResult, PageTarget
 from repro.lm.hci import HostController
 from repro.phy.channel import Channel
 from repro.power.rf_activity import RfActivityProbe
+from repro.sim.capture import TimelineCapture
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
@@ -62,21 +62,25 @@ class Session:
 
     def __init__(self, seed: int = 0, ber: float = 0.0,
                  config: Optional[SimulationConfig] = None,
-                 trace: bool = False):
+                 trace: bool = False, capture: bool = False):
         if config is None:
             config = SimulationConfig(seed=seed).with_ber(ber)
         self.config = config
         self.sim = Simulator()
-        # Adaptive hop sets are world-scoped (shared per-address selector
-        # state), so a fresh world must not inherit a previous session's
-        # maps.  Consequence: at most one AFH-using Session may be *live*
-        # per process — constructing a second one strips the first's maps
-        # (sequential sessions, the only pattern in this codebase, are
-        # fine; a world-keyed registry is the lift if interleaved
-        # sessions ever become a requirement, see ROADMAP).
-        HopSelector.clear_afh_maps()
         self.rngs = RandomStreams(config.seed)
         self.channel = Channel(self.sim, "channel", config, self.rngs)
+        # Shared hop state (per-address connection memos, adaptive hop
+        # sets) is world-scoped: the channel owns a HopRegistry, so any
+        # number of Sessions may be live in one process without stepping
+        # on each other's maps.
+        self.hop_registry = self.channel.hop_registry
+        #: Unified timeline event sink (``capture=True``); ``None`` keeps
+        #: every hook site on its single-attribute-test fast path and the
+        #: simulation byte-identical to a capture-less build.
+        self.capture: Optional[TimelineCapture] = None
+        if capture:
+            self.capture = TimelineCapture()
+            self.channel.capture = self.capture
         self.devices: list[BluetoothDevice] = []
         self.trace: Optional[TraceRecorder] = TraceRecorder(self.sim) \
             if (trace or config.trace) else None

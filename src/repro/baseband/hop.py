@@ -128,42 +128,142 @@ class AfhMap:
         self.n_used = len(self.register)
 
 
+class HopRegistry:
+    """World-scoped shared hop state: one per simulation world.
+
+    Holds, keyed by 28-bit hop address:
+
+    * **connection memos** — every member of a piconet holds a selector
+      bound to the *master's* hop address, so master and slaves all
+      evaluate the identical (address, clk) kernel each slot.  Sharing the
+      memo computes each slot's frequency once per piconet rather than
+      once per device.
+    * **adaptive hop sets (AFH maps)** — the master installs the map
+      through its piconet and every member's selector (bound to the same
+      master address) picks it up here — the model's stand-in for the
+      LMP_set_AFH handshake, which keeps master and slaves remapping in
+      lockstep.
+
+    A registry belongs to one world: :class:`repro.phy.channel.Channel`
+    creates one and :class:`repro.api.Session` exposes it, so any number
+    of sessions can be live in one process without stepping on each
+    other's maps or memos (the old process-global class state allowed at
+    most one live AFH-using session — building a second one stripped the
+    first's maps).  Selectors created without a registry share the
+    module-level :data:`DEFAULT_REGISTRY` (diagnostics, bare kernel
+    tests).
+
+    Both tables are bounded for the fresh-address Monte-Carlo pattern:
+    at :attr:`MAX_ADDRESSES` distinct addresses the memo registry is
+    dropped wholesale (live selectors keep their own dicts and lazily
+    re-bind), and the AFH-map table evicts its oldest-installed entries
+    FIFO — a world juggling more than 64 *concurrently live* AFH piconets
+    is out of scope (its oldest maps would silently un-install).
+    """
+
+    __slots__ = ("connection_memos", "afh_maps", "generation")
+
+    #: Address bound shared by both tables.
+    MAX_ADDRESSES = 64
+
+    def __init__(self) -> None:
+        self.connection_memos: dict[int, dict[int, int]] = {}
+        self.afh_maps: dict[int, AfhMap] = {}
+        #: Bumped on every map install/clear/eviction.  A selector's
+        #: memoized ``connection`` path compares its seen generation
+        #: against this and lazily re-binds to the registry's canonical
+        #: (freshly cleared) memo dict on mismatch — so even a selector
+        #: whose dict was orphaned by the memo-registry eviction can never
+        #: serve a pre-remap frequency after a map change (between map
+        #: changes, fragmented dicts are harmless: the kernel is pure in
+        #: (address, clk, map)).
+        self.generation = 0
+
+    def bind_memo(self, address: int) -> dict[int, int]:
+        """The canonical shared connection memo for ``address``, creating
+        it (under the address bound) if needed."""
+        memos = self.connection_memos
+        memo = memos.get(address)
+        if memo is None:
+            if len(memos) >= self.MAX_ADDRESSES:
+                memos.clear()
+            memo = memos[address] = {}
+        return memo
+
+    def afh_map(self, address: int) -> AfhMap | None:
+        """The adaptive hop set installed for ``address``, if any."""
+        return self.afh_maps.get(address)
+
+    def set_afh_map(self, address: int, used_mask: np.ndarray | None) -> None:
+        """Install (or clear, with ``None``) the adaptive hop set for
+        ``address``.
+
+        All selectors bound to that hop address — the master's and every
+        slave's — see the new map immediately, and the address's shared
+        connection memo is dropped so no stale pre-remap frequency
+        survives.  Installing for a fresh address past the
+        :attr:`MAX_ADDRESSES` bound evicts the oldest-installed maps
+        (fresh-address Monte-Carlo trials would otherwise leak an entry
+        per trial address forever — the memo table is bounded the same
+        way).
+        """
+        if used_mask is None:
+            if self.afh_maps.pop(address, None) is None:
+                return
+        else:
+            if address not in self.afh_maps \
+                    and len(self.afh_maps) >= self.MAX_ADDRESSES:
+                evict = [addr for addr in self.afh_maps][
+                    :len(self.afh_maps) - self.MAX_ADDRESSES + 1]
+                for addr in evict:
+                    del self.afh_maps[addr]
+                    stale = self.connection_memos.get(addr)
+                    if stale is not None:
+                        stale.clear()
+            self.afh_maps[address] = AfhMap(used_mask)
+        memo = self.connection_memos.get(address)
+        if memo is not None:
+            memo.clear()
+        # invalidate every selector's binding (including ones holding
+        # memo dicts orphaned by the registry eviction — see
+        # generation); they re-bind to the cleared canonical dict on
+        # their next memoized lookup
+        self.generation += 1
+
+    def clear_afh_maps(self) -> None:
+        """Drop every installed adaptive hop set (fresh-world reset)."""
+        if not self.afh_maps:
+            return
+        for address in self.afh_maps:
+            memo = self.connection_memos.get(address)
+            if memo is not None:
+                memo.clear()
+        self.afh_maps.clear()
+        self.generation += 1
+
+
+#: Registry used by selectors constructed without an explicit one — bare
+#: kernel diagnostics and tests, and the shared GIAC inquiry selector
+#: (which never runs in connection mode, so it only ever touches the memo
+#: side).  Simulation worlds each own their registry (see
+#: :class:`repro.phy.channel.Channel`).
+DEFAULT_REGISTRY = HopRegistry()
+
+
 class HopSelector:
     """Hop-selection kernel bound to one 28-bit address.
 
     The address is the hop_address of: the master (connection / channel
     access), the paged device (page mode) or the GIAC/DIAC (inquiry modes).
+    Shared per-address state (connection memos, AFH maps) lives in the
+    :class:`HopRegistry` the selector is bound to — one per simulation
+    world, :data:`DEFAULT_REGISTRY` when none is given.
     """
 
-    #: Shared per-address connection memos: every member of a piconet holds
-    #: a selector bound to the *master's* hop address, so master and slaves
-    #: all evaluate the identical (address, clk) kernel each slot.  Sharing
-    #: the memo computes each slot's frequency once per piconet rather than
-    #: once per device.  Bounded: cleared when it reaches _MEMO_MAX entries
-    #: (the kernel mixes clock bits up to CLK26, so there is no small cycle
-    #: to exploit).
-    _connection_memos: dict[int, dict[int, int]] = {}
+    #: Entry bound of one address's shared connection memo: cleared when
+    #: it reaches _MEMO_MAX entries (the kernel mixes clock bits up to
+    #: CLK26, so there is no small cycle to exploit).
     _MEMO_MAX = 1 << 15
-
-    #: Installed adaptive hop sets, keyed by hop address like the memos:
-    #: the master installs the map through its piconet and every member's
-    #: selector (bound to the same master address) picks it up here — the
-    #: model's stand-in for the LMP_set_AFH handshake, which keeps master
-    #: and slaves remapping in lockstep.  Installing or clearing a map
-    #: empties that address's shared connection memo (its cached
-    #: frequencies were computed under the previous map).  Maps are
-    #: world-scoped state: :class:`repro.api.Session` clears the registry
-    #: when a fresh simulation world is built.
-    _afh_maps: dict[int, AfhMap] = {}
-
-    #: Bumped on every map install/clear.  A selector's memoized
-    #: ``connection`` path compares its seen generation against this and
-    #: lazily re-binds to the registry's canonical (freshly cleared) memo
-    #: dict on mismatch — so even a selector whose dict was orphaned by
-    #: the 64-address memo-registry eviction can never serve a pre-remap
-    #: frequency after a map change (between map changes, fragmented
-    #: dicts are harmless: the kernel is pure in (address, clk, map)).
-    _afh_generation = 0
 
     #: Slots precomputed per connection-memo miss: a miss at clock ``clk``
     #: fills a sliding window ``clk, clk+2, ..`` (same clock parity — the
@@ -178,8 +278,9 @@ class HopSelector:
     #: fast-path equivalence suite), only the fill pattern changes.
     WINDOW_SLOTS = 64
 
-    def __init__(self, address: int):
+    def __init__(self, address: int, registry: HopRegistry | None = None):
         self.address = address & 0xFFFFFFF
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
         # memo for the 32-phase page/scan/response kernels (the A..F inputs
         # are address-fixed there, so each mode has at most 32 outputs);
         # the connection kernel mixes clock bits into A/C/D/F and is served
@@ -187,22 +288,16 @@ class HopSelector:
         # shared per-address memo for the slot-by-slot simulation path.
         self._phase_memo: dict[tuple[str, int, int], int] = {}
         # Monte-Carlo campaigns draw fresh addresses per trial, so the
-        # registry of shared memos is bounded as well: at 64 addresses the
-        # whole registry is dropped (live selectors keep their own dicts)
+        # registry of shared memos is bounded: at MAX_ADDRESSES the whole
+        # table is dropped (live selectors keep their own dicts)
         self._bind_shared_memo()
 
     def _bind_shared_memo(self) -> None:
         """(Re-)attach to the registry's canonical memo dict for this
-        address, creating it (under the 64-address bound) if needed, and
+        address, creating it (under the address bound) if needed, and
         record the AFH generation the binding is valid for."""
-        memos = self._connection_memos
-        memo = memos.get(self.address)
-        if memo is None:
-            if len(memos) >= 64:
-                memos.clear()
-            memo = memos[self.address] = {}
-        self._connection_memo = memo
-        self._afh_seen_generation = HopSelector._afh_generation
+        self._connection_memo = self.registry.bind_memo(self.address)
+        self._afh_seen_generation = self.registry.generation
 
     # -- derived address fields (spec notation A27..A0) --------------------
 
@@ -245,41 +340,12 @@ class HopSelector:
     @property
     def afh_map(self) -> AfhMap | None:
         """The adaptive hop set installed for this hop address, if any."""
-        return self._afh_maps.get(self.address)
+        return self.registry.afh_map(self.address)
 
     def set_afh_map(self, used_mask: np.ndarray | None) -> None:
-        """Install (or clear, with ``None``) the adaptive hop set.
-
-        All selectors bound to this hop address — the master's and every
-        slave's — see the new map immediately, and the address's shared
-        connection memo is dropped so no stale pre-remap frequency
-        survives.
-        """
-        if used_mask is None:
-            if self._afh_maps.pop(self.address, None) is None:
-                return
-        else:
-            self._afh_maps[self.address] = AfhMap(used_mask)
-        memo = self._connection_memos.get(self.address)
-        if memo is not None:
-            memo.clear()
-        # invalidate every selector's binding (including ones holding
-        # memo dicts orphaned by the registry eviction — see
-        # _afh_generation); they re-bind to the cleared canonical dict
-        # on their next memoized lookup
-        HopSelector._afh_generation += 1
-
-    @classmethod
-    def clear_afh_maps(cls) -> None:
-        """Drop every installed adaptive hop set (fresh-world reset)."""
-        if not cls._afh_maps:
-            return
-        for address in cls._afh_maps:
-            memo = cls._connection_memos.get(address)
-            if memo is not None:
-                memo.clear()
-        cls._afh_maps.clear()
-        cls._afh_generation += 1
+        """Install (or clear, with ``None``) the adaptive hop set in this
+        selector's registry — see :meth:`HopRegistry.set_afh_map`."""
+        self.registry.set_afh_map(self.address, used_mask)
 
     # -- public modes ---------------------------------------------------------
 
@@ -327,7 +393,7 @@ class HopSelector:
         """Channel hopping in connection state at piconet clock CLK (with
         the AFH remap applied whenever an adaptive hop set is installed
         for this address)."""
-        if self._afh_seen_generation != HopSelector._afh_generation:
+        if self._afh_seen_generation != self.registry.generation:
             self._bind_shared_memo()
         freq = self._connection_memo.get(clk)
         if freq is None:
@@ -350,7 +416,7 @@ class HopSelector:
             index = self._select_index(x=x, y1=y1, y2=32 * y1, a=a,
                                        b=self._b, c=c, d=d, f=f)
             freq = CHANNEL_REGISTER[index]
-            afh = self._afh_maps.get(self.address)
+            afh = self.registry.afh_map(self.address)
             if afh is not None and not afh.used_mask[freq]:
                 # spec remap: pre-register index mod N into the used set
                 freq = int(afh.register[index % afh.n_used])
@@ -392,7 +458,7 @@ class HopSelector:
         """
         index = self._connection_indices(clks)
         freqs = _CHANNEL_REGISTER_ARRAY[index]
-        afh = self._afh_maps.get(self.address)
+        afh = self.registry.afh_map(self.address)
         if afh is not None:
             remap = ~afh.used_mask[freqs]
             if remap.any():

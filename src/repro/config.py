@@ -95,6 +95,14 @@ class AfhConfig:
         assess_interval_slots: slots between channel assessments (the
             classifier re-evaluates and, if the map changed, installs the
             new hop set for master and slaves alike).
+        probe_interval_assessments: every this many assessments, one
+            excluded channel is re-admitted **on probation** with its
+            evidence counters reset — a short fresh window of
+            ``min_samples`` transmissions decides whether it stays (the
+            interferer vacated) or is re-excluded at the next assessment.
+            This is what wins channels back after a jammer turns off;
+            ``0`` (the default) disables probing and keeps exclusion
+            sticky.
     """
 
     enabled: bool = False
@@ -102,6 +110,7 @@ class AfhConfig:
     bad_per_threshold: float = 0.5
     min_samples: int = 4
     assess_interval_slots: int = 400
+    probe_interval_assessments: int = 0
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_channels <= units.NUM_CHANNELS:
@@ -113,6 +122,9 @@ class AfhConfig:
             raise ConfigError("min_samples must be >= 1")
         if self.assess_interval_slots <= 0:
             raise ConfigError("assess_interval_slots must be positive")
+        if self.probe_interval_assessments < 0:
+            raise ConfigError(
+                "probe_interval_assessments must be >= 0 (0 disables probing)")
 
 
 @dataclass(frozen=True)

@@ -35,11 +35,43 @@ PAPER_BER_GRID: list[tuple[float, str]] = [
 #: stay consistent.
 BIT_ACCURATE_ENV_VAR = "REPRO_BIT_ACCURATE"
 
+#: Environment switch: when set to a directory path, campaign trials run
+#: with the timeline capture enabled and archive one JSONL file per trial
+#: there (``<experiment_id>__<label>.jsonl``).  The capture hooks are
+#: purely observational, so archived runs produce byte-identical results
+#: to unarchived ones — the archive only adds the drill-down record.
+TIMELINE_DIR_ENV_VAR = "REPRO_TIMELINE_DIR"
+
 
 def bit_accurate_default() -> bool:
     """True when REPRO_BIT_ACCURATE selects bit-accurate experiment runs."""
     value = os.environ.get(BIT_ACCURATE_ENV_VAR, "")
     return value.strip().lower() not in ("", "0", "false", "off", "no")
+
+
+def timeline_dir() -> Optional[str]:
+    """The REPRO_TIMELINE_DIR archive directory, or None when archiving
+    is off (unset or blank)."""
+    value = os.environ.get(TIMELINE_DIR_ENV_VAR, "").strip()
+    return value or None
+
+
+def archive_timeline(session, experiment_id: str, label: str) -> Optional[str]:
+    """Write ``session``'s captured timeline to the archive directory.
+
+    One JSONL file per call, named ``<experiment_id>__<label>.jsonl`` —
+    replayable offline with :class:`repro.sim.capture.TimelineEvent` or
+    any JSON tooling.  No-op (returns None) when archiving is off or the
+    session ran without a capture.
+    """
+    directory = timeline_dir()
+    if directory is None or session.capture is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{experiment_id}__{label}.jsonl")
+    with open(path, "w", encoding="utf-8") as stream:
+        session.capture.to_jsonl(stream)
+    return path
 
 
 def paper_config(ber: float = 0.0, seed: int = 0,

@@ -20,6 +20,19 @@ clean-channel baseline, and the converged hop-set size.
 Statistics: one Monte-Carlo point per jammed-channel count, dispatched
 through the standard flattened ``Sweep`` queue with two-level
 ``derive_seed`` seeding, like every other campaign.
+
+Two drill-down facilities ride along:
+
+* **Timeline archiving** — with ``REPRO_TIMELINE_DIR`` set, every trial
+  runs with the :mod:`repro.sim.capture` timeline enabled and archives
+  one JSONL file per (jammed count, AFH mode, seed) cell, so a
+  surprising goodput row can be replayed offline down to its individual
+  AFH map installs and capture losses.  Capture is observational, so the
+  archived rows are byte-identical to unarchived ones.
+* **Jammer-off recovery** (:func:`measure_jammer_off_recovery`) — the
+  probing-re-admission phase: learn under the jammer with
+  ``probe_interval_assessments`` active, switch the interferer off, and
+  track the hop set climbing back to the full band as clean probes stick.
 """
 
 from __future__ import annotations
@@ -33,9 +46,11 @@ from repro.baseband.packets import PacketType
 from repro.config import AfhConfig
 from repro.experiments.common import (
     ExperimentResult,
+    archive_timeline,
     page_up_pair,
     paper_config,
     run_sweep,
+    timeline_dir,
 )
 from repro.link.traffic import SaturatedTraffic
 from repro.stats.estimators import ci_cell
@@ -55,10 +70,16 @@ OBSERVE_SLOTS = 2000
 #: fixtures can scale it together with the windows).
 MIN_SAMPLES = 4
 ASSESS_INTERVAL_SLOTS = 400
+#: Jammer-off recovery phase: probation cadence (one excluded channel
+#: re-admitted per assessment) and the post-jammer window long enough for
+#: the probes to walk the whole excluded set at the assessment interval.
+RECOVERY_PROBE_INTERVAL = 1
+RECOVERY_SLOTS = 16000
 
 
 def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
-                      n_piconets: int = 1) -> tuple[Session, list]:
+                      n_piconets: int = 1, probe_interval: int = 0,
+                      capture: bool = False) -> tuple[Session, list]:
     """``n_piconets`` saturated DM1 master/slave piconets next to
     ``n_jammed`` statically jammed channels.
 
@@ -66,6 +87,8 @@ def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
     on only when traffic starts), so AFH-on and AFH-off runs share an
     identical bring-up; with the same seed the two sessions diverge only
     through the hop-set adaptation — each master runs its own classifier.
+    ``probe_interval`` enables probing re-admission (the recovery phase);
+    ``capture`` turns on the event timeline for drill-down archiving.
     Shared by :func:`run_point`, the AFH workload of
     ``benchmarks/bench_sweep.py`` and the AFH test suite.
     """
@@ -73,8 +96,9 @@ def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
     if afh_enabled:
         config = dataclasses.replace(
             config, afh=AfhConfig(enabled=True, min_samples=MIN_SAMPLES,
-                                  assess_interval_slots=ASSESS_INTERVAL_SLOTS))
-    session = Session(config=config)
+                                  assess_interval_slots=ASSESS_INTERVAL_SLOTS,
+                                  probe_interval_assessments=probe_interval))
+    session = Session(config=config, capture=capture)
     pairs = [page_up_pair(session, index, label="afh")
              for index in range(n_piconets)]
     if n_jammed:
@@ -87,13 +111,21 @@ def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
 
 def measure_aggregate_goodput(n_piconets: int, n_jammed: int,
                               afh_enabled: bool, seed: int,
-                              learn_slots: int,
-                              observe_slots: int) -> tuple[float, list[int]]:
+                              learn_slots: int, observe_slots: int,
+                              timeline_label: Optional[str] = None,
+                              ) -> tuple[float, list[int]]:
     """Aggregate delivered goodput (kb/s summed over every piconet's
     slave) after a learning window, plus each piconet's final hop-set
-    size.  The multi-piconet workload of ``benchmarks/bench_sweep.py``."""
+    size.  The multi-piconet workload of ``benchmarks/bench_sweep.py``.
+
+    With ``timeline_label`` given *and* ``REPRO_TIMELINE_DIR`` set, the
+    run captures its event timeline and archives it as
+    ``ext_afh__<timeline_label>.jsonl`` — capture is observational, so
+    the returned numbers are unchanged either way.
+    """
+    capture = timeline_label is not None and timeline_dir() is not None
     session, pairs = build_afh_session(n_jammed, afh_enabled, seed,
-                                       n_piconets=n_piconets)
+                                       n_piconets=n_piconets, capture=capture)
     session.run_slots(learn_slots)
     before = [slave.rx_buffer.total_bytes for _, slave in pairs]
     start_ns = session.sim.now
@@ -107,7 +139,39 @@ def measure_aggregate_goodput(n_piconets: int, n_jammed: int,
             if master.connection_master is not None else None
         hop_sets.append(afh.hop_set_size if afh is not None
                         else units.NUM_CHANNELS)
+    if capture:
+        archive_timeline(session, "ext_afh", timeline_label)
     return delivered * 8 / 1000 / elapsed_s, hop_sets
+
+
+def measure_jammer_off_recovery(n_jammed: int, seed: int,
+                                learn_slots: int = LEARN_SLOTS,
+                                recovery_slots: int = RECOVERY_SLOTS,
+                                probe_interval: int = RECOVERY_PROBE_INTERVAL,
+                                ) -> tuple[int, int]:
+    """The jammer-turns-off phase: hop-set size at the end of the jammed
+    learning window and again after the interferer has been switched off
+    for ``recovery_slots``.
+
+    The session runs with probing re-admission active
+    (``probe_interval`` excluded channels re-admitted on probation per
+    assessment, evidence counters reset), so once
+    :meth:`~repro.phy.channel.Channel.clear_static_interferers` silences
+    the jammer every probe sees clean traffic and sticks — the hop set
+    climbs back toward the full 79-channel band, which sticky exclusion
+    (the default ``probe_interval_assessments = 0``) can never do.
+    """
+    session, pairs = build_afh_session(n_jammed, True, seed,
+                                       probe_interval=probe_interval)
+    session.run_slots(learn_slots)
+    master = pairs[0][0]
+    assert master.connection_master is not None
+    afh = master.connection_master.afh
+    assert afh is not None
+    jammed_size = afh.hop_set_size
+    session.channel.clear_static_interferers()
+    session.run_slots(recovery_slots)
+    return jammed_size, afh.hop_set_size
 
 
 def run_point(n_jammed: int, afh_enabled: bool,
@@ -115,8 +179,10 @@ def run_point(n_jammed: int, afh_enabled: bool,
     """Goodput (kb/s) of the observed single-piconet link after the
     learning window, and the hop-set size it ended up with (79 without
     AFH) — the one-pair slice of :func:`measure_aggregate_goodput`."""
+    mode = "on" if afh_enabled else "off"
     goodput, hop_sets = measure_aggregate_goodput(
-        1, n_jammed, afh_enabled, seed, LEARN_SLOTS, OBSERVE_SLOTS)
+        1, n_jammed, afh_enabled, seed, LEARN_SLOTS, OBSERVE_SLOTS,
+        timeline_label=f"jam{n_jammed}_afh{mode}_seed{seed}")
     return goodput, hop_sets[0]
 
 

@@ -35,9 +35,11 @@ from repro.api import Session
 from repro.baseband.packets import PacketType
 from repro.experiments.common import (
     ExperimentResult,
+    archive_timeline,
     page_up_pair,
     paper_config,
     run_sweep,
+    timeline_dir,
 )
 from repro.link.traffic import SaturatedTraffic
 from repro.stats.estimators import ci_cell, wilson_interval
@@ -70,19 +72,22 @@ def analytic_per(n_piconets: int) -> float:
 
 def build_campaign_session(
         n_piconets: int, seed: int, ber: float = 0.0,
-        bit_accurate: bool = False) -> tuple[Session, list]:
+        bit_accurate: bool = False,
+        capture: bool = False) -> tuple[Session, list]:
     """A session with ``n_piconets`` saturated piconets paged up and warmed.
 
     Each piconet is one master/slave pair (paged at the configured BER
     under a 4096-slot guard), saturating with its ``TRAFFIC_MIX`` packet
     type, run 200 warm-up slots past traffic start.  Returns the session
-    and the ``(master, slave)`` pairs.  Shared by :func:`run_point`, the
+    and the ``(master, slave)`` pairs.  ``capture`` turns on the event
+    timeline (observational only).  Shared by :func:`run_point`, the
     dense-point rows of ``benchmarks/bench_sweep.py`` and the golden-digest
     equivalence suite, so all three measure the same bring-up protocol.
     """
     session = Session(config=paper_config(ber=ber, seed=seed,
                                           bit_accurate=bit_accurate,
-                                          t_poll_slots=4000))
+                                          t_poll_slots=4000),
+                      capture=capture)
     pairs = [page_up_pair(session, index, label="interference")
              for index in range(n_piconets)]
     for index, (master, _) in enumerate(pairs):
@@ -101,8 +106,12 @@ def run_point(n_piconets: int, seed: int) -> tuple[float, float, int, int, int]:
     data/poll packets that did not arrive (the real per-piconet loss — the
     old implementation returned a hard-coded ``0.0`` here), the raw packet
     counts behind it, and the channel's collision count in the window.
+
+    With ``REPRO_TIMELINE_DIR`` set the trial captures its event timeline
+    and archives it as ``ext_interference__n<count>_seed<seed>.jsonl``.
     """
-    session, pairs = build_campaign_session(n_piconets, seed)
+    capture = timeline_dir() is not None
+    session, pairs = build_campaign_session(n_piconets, seed, capture=capture)
     master0, slave0 = pairs[0]
     assert master0.connection_master is not None
     assert slave0.connection_slave is not None
@@ -116,6 +125,9 @@ def run_point(n_piconets: int, seed: int) -> tuple[float, float, int, int, int]:
     tx_packets = master0.connection_master.stats_tx_packets - tx_before
     rx_packets = slave0.connection_slave.stats_rx_packets - rx_before
     collisions = session.channel.collisions - collisions_before
+    if capture:
+        archive_timeline(session, "ext_interference",
+                         f"n{n_piconets}_seed{seed}")
     elapsed_s = (session.sim.now - start_ns) / units.SEC
     goodput = delivered * 8 / 1000 / elapsed_s
     loss_ratio = 1.0 - rx_packets / tx_packets if tx_packets else 0.0

@@ -21,16 +21,24 @@ master-side half of that machinery:
   committed campaigns converge to ~39-46 used channels under a 20-channel
   jam rather than the ideal 59).  That costs frequency diversity, not
   goodput — every retained channel is clean — and the ``min_channels``
-  floor bounds how far it can go; probing re-admission is the ROADMAP
-  item that would win the diversity back.
+  floor bounds how far it can go; probing re-admission (below) wins the
+  diversity back when enabled.
 * :class:`AfhController` periodically classifies, accumulates the **bad
-  set** (sticky — an excluded channel receives no further transmissions,
-  hence no evidence for re-admission; probing recovery is future work,
-  see ROADMAP), enforces the spec's ``N_min`` floor by re-admitting the
-  least-bad channels, and installs the resulting map through
+  set** (sticky by default — an excluded channel receives no further
+  transmissions, hence no evidence for re-admission), enforces the
+  spec's ``N_min`` floor by re-admitting the least-bad channels, and
+  installs the resulting map through
   :meth:`~repro.link.piconet.Piconet.set_channel_map` — which reaches the
-  slaves' selectors through the shared per-address hop state, the model's
-  stand-in for the LMP_set_AFH handshake.
+  slaves' selectors through the world's shared per-address hop state, the
+  model's stand-in for the LMP_set_AFH handshake.
+* **Probing re-admission**
+  (:attr:`~repro.config.AfhConfig.probe_interval_assessments`): every N
+  assessments one excluded channel is re-admitted on probation with its
+  evidence counters reset, so a short fresh window of traffic decides
+  whether the interferer has vacated.  A clean probe keeps the channel; a
+  still-jammed one re-excludes it through the ordinary classification
+  path once ``min_samples`` fresh failures accumulate.  This is what lets
+  the hop set recover after a jammer turns off.
 
 The hop-sequence remapping itself lives in
 :meth:`repro.baseband.hop.HopSelector.connection_many` as an array
@@ -39,13 +47,16 @@ transform, so the windowed fast path keeps serving every hop lookup.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro import units
 from repro.config import AfhConfig
 from repro.link.piconet import Piconet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.channel import Channel
 
 
 class ChannelClassifier:
@@ -74,15 +85,22 @@ class ChannelClassifier:
 class AfhController:
     """Master-side assessment loop driving a piconet's adaptive hop set."""
 
-    def __init__(self, piconet: Piconet, config: AfhConfig):
+    def __init__(self, piconet: Piconet, config: AfhConfig,
+                 channel: Optional["Channel"] = None):
         self.piconet = piconet
         self.config = config
+        # the world's channel, when given, provides simulation time and
+        # the optional timeline-capture sink for assessment records
+        self._channel = channel
         self.classifier = ChannelClassifier()
         self._excluded = np.zeros(units.NUM_CHANNELS, dtype=bool)
         self._pending_freq: Optional[int] = None
         self._interval_pairs = max(1, config.assess_interval_slots // 2)
         self._next_assess_pair: Optional[int] = None
+        self._assessments = 0
+        self._probe_cursor = 0
         self.maps_installed = 0
+        self.probes_started = 0
 
     @property
     def hop_set_size(self) -> int:
@@ -124,6 +142,19 @@ class AfhController:
         bad = (classifier.tx_counts >= config.min_samples) \
             & (per >= config.bad_per_threshold)
         excluded = self._excluded | bad
+        self._assessments += 1
+        interval = config.probe_interval_assessments
+        if interval and self._assessments % interval == 0 and excluded.any():
+            probe = self._next_probe_channel(excluded)
+            if probe is not None:
+                # probation: re-admit and reset the evidence counters, so
+                # the verdict comes from a fresh min_samples-sized window
+                # of post-re-admission traffic, not from the history that
+                # got the channel excluded in the first place
+                excluded[probe] = False
+                classifier.tx_counts[probe] = 0
+                classifier.fail_counts[probe] = 0
+                self.probes_started += 1
         used = ~excluded
         deficit = config.min_channels - int(used.sum())
         if deficit > 0:
@@ -136,8 +167,27 @@ class AfhController:
                     deficit -= 1
                     if deficit == 0:
                         break
-        if np.array_equal(~used, self._excluded):
-            return
-        self._excluded = ~used
-        self.piconet.set_channel_map(used if not used.all() else None)
-        self.maps_installed += 1
+        installed = not np.array_equal(~used, self._excluded)
+        if installed:
+            self._excluded = ~used
+            self.piconet.set_channel_map(used if not used.all() else None)
+            self.maps_installed += 1
+        cap = self._channel.capture if self._channel is not None else None
+        if cap is not None:
+            now = self._channel.sim.now
+            src = f"afh.{self.piconet.master_addr.lap:06X}"
+            cap.assess(now, src, int(bad.sum()), installed)
+            if installed:
+                cap.afh_map(now, src, n_used=int(used.sum()),
+                            excluded=np.flatnonzero(~used).tolist())
+
+    def _next_probe_channel(self, excluded: np.ndarray) -> Optional[int]:
+        """The next excluded channel in round-robin order from the probe
+        cursor, so successive probes walk the whole excluded set instead
+        of hammering its lowest index."""
+        for step in range(units.NUM_CHANNELS):
+            channel = (self._probe_cursor + step) % units.NUM_CHANNELS
+            if excluded[channel]:
+                self._probe_cursor = (channel + 1) % units.NUM_CHANNELS
+                return int(channel)
+        return None

@@ -68,7 +68,7 @@ class ConnectionMaster:
         # AFH (extension, off by default): the master classifies channels
         # from its reply outcomes and adapts the piconet's hop set
         self.afh: Optional[AfhController] = \
-            AfhController(piconet, device.cfg.afh) \
+            AfhController(piconet, device.cfg.afh, channel=device.channel) \
             if device.cfg.afh.enabled else None
 
     # ------------------------------------------------------------------
@@ -159,6 +159,9 @@ class ConnectionMaster:
         device = self.device
         clk = device.clock.clk(device.sim.now)
         freq = device.hop_selector.connection(clk)
+        cap = device.channel.capture
+        if cap is not None:
+            cap.hop(device.sim.now, device.path, clk, freq)
         if action.kind == "beacon":
             packet = Packet(ptype=PacketType.NULL, lap=device.addr.lap, am_addr=0)
             device.rf.transmit(freq, packet, uap=device.addr.uap,
@@ -173,6 +176,10 @@ class ConnectionMaster:
             item = device.tx_buffer_for(action.am_addr).peek()
             if item is None:
                 return
+            if cap is not None and arq.tx.awaiting_ack:
+                # the head payload went unacknowledged: this send repeats it
+                cap.arq_retx(device.sim.now, device.path, freq,
+                             action.am_addr, arq.tx.seqn)
             packet = Packet(ptype=item.ptype, lap=device.addr.lap,
                             am_addr=action.am_addr,
                             arqn=arq.rx.arqn,
@@ -333,7 +340,8 @@ class ConnectionSlave:
         self.master_addr = master_addr
         self.am_addr = am_addr
         self.clock = piconet_clock
-        self.selector = HopSelector(master_addr.hop_address)
+        self.selector = HopSelector(master_addr.hop_address,
+                                    device.hop_registry)
         self.arq = LinkArq()
         self.mode = ConnectionMode.ACTIVE
         self.sniff_params: Optional[SniffParams] = None  # in pair units
@@ -529,6 +537,10 @@ class ConnectionSlave:
         freq = self.selector.connection(clk)
         item = device.tx_buffer_for(0).peek()
         if item is not None:
+            cap = device.channel.capture
+            if cap is not None and self.arq.tx.awaiting_ack:
+                cap.arq_retx(device.sim.now, device.path, freq,
+                             self.am_addr, self.arq.tx.seqn)
             packet = Packet(ptype=item.ptype, lap=self.master_addr.lap,
                             am_addr=self.am_addr,
                             arqn=self.arq.rx.arqn,

@@ -69,7 +69,11 @@ class BluetoothDevice(Module):
         # alignment a coin flip (and the paper's 1556-slot inquiry mean).
         initial_clkn = int(self._rngs.stream("clkn_init").integers(0, units.CLKN_WRAP))
         self.clock = BtClock(phase_ns=clock_phase_ns, offset_ticks=initial_clkn)
-        self.hop_selector = HopSelector(addr.hop_address)
+        self.channel = channel
+        # shared per-address hop state (memos, AFH maps) is scoped to the
+        # world this device lives in — the channel owns the registry
+        self.hop_registry = channel.hop_registry
+        self.hop_selector = HopSelector(addr.hop_address, self.hop_registry)
         self.rf = RfFrontEnd(sim, "rf", self, channel, self.clock)
         self.rf.listener = self
         self.sig_state: Signal[str] = self.signal("state", DeviceState.STANDBY.value)
@@ -171,7 +175,7 @@ class BluetoothDevice(Module):
         if self.connection_slave is not None:
             raise ProtocolError("a slave cannot page (single-role model)")
         if self.piconet is None:
-            self.piconet = Piconet(self.addr)
+            self.piconet = Piconet(self.addr, registry=self.hop_registry)
         if am_addr is None:
             am_addr = self.piconet.allocate_am_addr()
         if self.connection_master is not None:

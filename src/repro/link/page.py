@@ -83,7 +83,8 @@ class PageProcedure:
         self.timeout_slots = timeout_slots if timeout_slots is not None \
             else self.cfg.page_timeout_slots
         self.on_complete = on_complete
-        self.selector = HopSelector(target.addr.hop_address)
+        self.selector = HopSelector(target.addr.hop_address,
+                                    device.hop_registry)
         self.koffset = KOFFSET_TRAIN_A
         self.state = self.PAGING
         self.id_transmissions = 0
@@ -287,7 +288,8 @@ class PageScanProcedure:
                  on_complete: Optional[Callable[[bool], None]] = None):
         self.device = device
         self.cfg = device.cfg.link
-        self.selector = HopSelector(device.addr.hop_address)
+        self.selector = HopSelector(device.addr.hop_address,
+                                    device.hop_registry)
         self.on_complete = on_complete
         self.state = self.SCANNING
         self.master_addr: Optional[BdAddr] = None
@@ -418,7 +420,8 @@ class PageScanProcedure:
             return
         assert self.piconet_clock is not None and self.master_addr is not None
         device = self.device
-        selector = HopSelector(self.master_addr.hop_address)
+        selector = HopSelector(self.master_addr.hop_address,
+                               device.hop_registry)
         clock = self.piconet_clock
         device.rf.rx_on_follow(
             lambda: selector.connection(clock.clk(device.sim.now)),
@@ -438,7 +441,8 @@ class PageScanProcedure:
         assert self.piconet_clock is not None and self.master_addr is not None
         if device.rf.rx_open:
             device.rf.rx_off()
-        selector = HopSelector(self.master_addr.hop_address)
+        selector = HopSelector(self.master_addr.hop_address,
+                               device.hop_registry)
         clk = self.piconet_clock.clk(device.sim.now)
         packet = Packet(ptype=PacketType.NULL, lap=self.master_addr.lap,
                         am_addr=self.am_addr, arqn=1)

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.baseband.address import BdAddr
-from repro.baseband.hop import HopSelector
+from repro.baseband.hop import HopRegistry, HopSelector
 from repro.errors import ProtocolError
 from repro.link.states import ConnectionMode
 
@@ -66,8 +66,10 @@ class Piconet:
 
     MAX_ACTIVE_SLAVES = 7
 
-    def __init__(self, master_addr: BdAddr):
+    def __init__(self, master_addr: BdAddr,
+                 registry: Optional[HopRegistry] = None):
         self.master_addr = master_addr
+        self.hop_registry = registry
         self.slaves: dict[int, SlaveLink] = {}
         self._parked: dict[int, SlaveLink] = {}
         self._hop_selector: Optional[HopSelector] = None
@@ -80,9 +82,11 @@ class Piconet:
     @property
     def hop_selector(self) -> HopSelector:
         """The piconet's channel-hopping kernel (master's hop address);
-        shares the per-address connection memo with every member device."""
+        shares the per-address connection memo with every member device
+        through the world's hop registry."""
         if self._hop_selector is None:
-            self._hop_selector = HopSelector(self.master_addr.hop_address)
+            self._hop_selector = HopSelector(self.master_addr.hop_address,
+                                             self.hop_registry)
         return self._hop_selector
 
     def hop_sequence(self, clk_start: int, slots: int) -> np.ndarray:

@@ -63,6 +63,7 @@ from repro.baseband.codec import (
 )
 from repro.baseband.errormodel import StageErrorModel
 from repro.baseband.bits import flip_bits
+from repro.baseband.hop import HopRegistry
 from repro.baseband.packets import Packet, PacketType
 from repro.baseband.timing import HEADER_DECISION_NS, SYNC_DECISION_NS
 from repro.config import SimulationConfig
@@ -142,6 +143,14 @@ class Channel(Module):
                  rngs: RandomStreams):
         super().__init__(sim, name, parent=None)
         self.config = config
+        # world-scoped shared hop state: per-address connection memos and
+        # adaptive hop sets live here, so concurrent worlds never see each
+        # other's maps (see repro.baseband.hop.HopRegistry)
+        self.hop_registry = HopRegistry()
+        #: Optional :class:`~repro.sim.capture.TimelineCapture` sink.  Every
+        #: hook site guards on ``is not None``, so a world without capture
+        #: pays one attribute test and stays byte-identical.
+        self.capture = None
         self.radios: list[RfFrontEnd] = []
         # live transmissions per RF channel, keyed by id(tx) for O(1) expiry
         self._active_by_freq: dict[int, dict[int, Transmission]] = {}
@@ -276,6 +285,14 @@ class Channel(Module):
                     self._static_mw[neighbour] += \
                         power * self._aci_gain[abs(offset)]
 
+    def clear_static_interferers(self) -> None:
+        """Remove every parked static interferer — the jammer-off phase of
+        a recovery scenario.  The capture resolver stays on its
+        power-tracking path (:attr:`_capture_trivial` is sticky), so
+        outcomes remain well-defined for transmissions already in the
+        air."""
+        self._static_mw = None
+
     def transmit(self, radio: RfFrontEnd, freq: int, packet: Packet,
                  uap: int = 0, meta: TxMeta | None = None,
                  power_dbm: float = 0.0) -> Transmission:
@@ -297,6 +314,9 @@ class Channel(Module):
         if self.config.bit_accurate:
             tx.air_bits = encode_packet(packet, uap=tx.tx_uap, clk=tx.tx_clk)
         self.transmissions += 1
+        cap = self.capture
+        if cap is not None:
+            cap.tx_start(now, tx)
 
         if self.sir_capture and not (self._capture_trivial
                                      and power_dbm == 0.0):
@@ -312,6 +332,11 @@ class Channel(Module):
             for other in live.values():
                 if other.end_ns <= now:  # expiry event not yet fired
                     continue
+                if cap is not None:
+                    if not other.corrupted:
+                        cap.capture_loss(now, other)
+                    if not tx.corrupted:
+                        cap.capture_loss(now, tx)
                 other.corrupted = True
                 tx.corrupted = True
                 self.collisions += 1
@@ -345,6 +370,7 @@ class Channel(Module):
         and adjacent buckets are never visited, making counter, flags and
         event schedule byte-identical to the legacy resolver.
         """
+        cap = self.capture
         interference = self._static_mw[tx.freq] if self._static_mw else 0.0
         capture = self._capture_ratio
         power = tx.power_mw
@@ -364,8 +390,11 @@ class Channel(Module):
                     continue
                 interference += other.power_mw * gain
                 other.interference_mw += power * gain
-                if other.power_mw <= other.interference_mw * capture:
+                if other.power_mw <= other.interference_mw * capture \
+                        and not other.corrupted:
                     other.corrupted = True
+                    if cap is not None:
+                        cap.capture_loss(now, other)
                 if power <= interference * capture:
                     corrupted = True
                 if corrupted or other.corrupted:
@@ -373,6 +402,8 @@ class Channel(Module):
         tx.interference_mw = interference
         if power <= interference * capture:
             corrupted = True
+        if corrupted and not tx.corrupted and cap is not None:
+            cap.capture_loss(now, tx)
         tx.corrupted = corrupted
         self._active_by_freq.setdefault(tx.freq, {})[id(tx)] = tx
 
@@ -415,6 +446,9 @@ class Channel(Module):
                     sync_time, partial(self._sync_stage, tx, listener))
 
     def _expire(self, tx: Transmission) -> None:
+        cap = self.capture
+        if cap is not None:
+            cap.tx_end(self.sim.now, tx)
         live = self._active_by_freq.get(tx.freq)
         if live is not None:
             live.pop(id(tx), None)

@@ -1,0 +1,171 @@
+"""World-scoped hop state: HopRegistry bounds, eviction and isolation.
+
+The registry replaced the process-global ``HopSelector`` class tables, so
+these tests pin its contract: both tables are bounded at the same address
+count (the old code evicted memos at 64 addresses but let ``_afh_maps``
+grow forever — the leak this PR fixes), map installs invalidate memoized
+frequencies through the generation counter, and two registries never see
+each other's state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.baseband.hop import HopRegistry, HopSelector
+
+
+def _mask(excluded: list[int]) -> np.ndarray:
+    mask = np.ones(units.NUM_CHANNELS, dtype=bool)
+    mask[excluded] = False
+    return mask
+
+
+class TestMemoBound:
+    def test_memo_table_dropped_wholesale_at_bound(self):
+        registry = HopRegistry()
+        for address in range(registry.MAX_ADDRESSES):
+            registry.bind_memo(address)
+        assert len(registry.connection_memos) == registry.MAX_ADDRESSES
+        registry.bind_memo(10_000)
+        assert list(registry.connection_memos) == [10_000]
+
+    def test_live_selector_survives_memo_eviction(self):
+        """A selector holding an orphaned memo dict keeps serving correct
+        frequencies (the kernel is pure in (address, clk, map))."""
+        registry = HopRegistry()
+        selector = HopSelector(0x123456, registry)
+        expected = [selector.connection(2 * k) for k in range(8)]
+        for address in range(registry.MAX_ADDRESSES + 1):
+            registry.bind_memo(1 << 27 | address)
+        assert [selector.connection(2 * k) for k in range(8)] == expected
+
+
+class TestAfhMapEviction:
+    """Regression: the AFH-map table is bounded like the memo table.
+
+    The pre-registry code evicted connection memos at 64 addresses but
+    never evicted ``_afh_maps`` — a fresh-address Monte-Carlo campaign
+    with AFH on leaked one map (mask + register arrays) per trial for the
+    life of the process.
+    """
+
+    def test_maps_bounded_at_max_addresses(self):
+        registry = HopRegistry()
+        n = registry.MAX_ADDRESSES
+        for address in range(n + 16):
+            registry.set_afh_map(address, _mask([0, 1]))
+        assert len(registry.afh_maps) == n
+
+    def test_eviction_is_fifo_oldest_installed_first(self):
+        registry = HopRegistry()
+        n = registry.MAX_ADDRESSES
+        for address in range(n):
+            registry.set_afh_map(address, _mask([0]))
+        registry.set_afh_map(9_999, _mask([1]))
+        assert registry.afh_map(0) is None  # oldest install evicted
+        assert registry.afh_map(1) is not None
+        assert registry.afh_map(9_999) is not None
+        assert len(registry.afh_maps) == n
+
+    def test_reinstall_does_not_evict(self):
+        """Replacing an existing address's map is not a fresh install —
+        the table stays full without evicting anyone else."""
+        registry = HopRegistry()
+        n = registry.MAX_ADDRESSES
+        for address in range(n):
+            registry.set_afh_map(address, _mask([0]))
+        registry.set_afh_map(3, _mask([5]))
+        assert len(registry.afh_maps) == n
+        assert registry.afh_map(0) is not None
+        assert registry.afh_map(3).used_mask[5] == False  # noqa: E712
+
+    def test_evicted_addresss_memo_is_cleared(self):
+        """Eviction silently un-installs a map, so the evicted address's
+        memoized (remapped) frequencies must not survive it."""
+        registry = HopRegistry()
+        selector = HopSelector(0, registry)
+        registry.set_afh_map(0, _mask(list(range(40))))
+        remapped = [selector.connection(2 * k) for k in range(64)]
+        assert all(freq >= 40 for freq in remapped)
+        for address in range(1, registry.MAX_ADDRESSES + 1):
+            registry.set_afh_map(address, _mask([0]))
+        assert registry.afh_map(0) is None
+        plain = [selector.connection(2 * k) for k in range(64)]
+        bare = HopSelector(0, HopRegistry())
+        assert plain == [bare.connection(2 * k) for k in range(64)]
+
+
+class TestGenerationInvalidation:
+    def test_map_install_invalidates_memoized_frequencies(self):
+        registry = HopRegistry()
+        selector = HopSelector(0x5A5A5A, registry)
+        before = [selector.connection(2 * k) for k in range(64)]
+        registry.set_afh_map(0x5A5A5A, _mask(list(range(39))))
+        after = [selector.connection(2 * k) for k in range(64)]
+        assert all(freq >= 39 for freq in after)
+        assert after != before
+
+    def test_map_clear_restores_basic_sequence(self):
+        registry = HopRegistry()
+        selector = HopSelector(0x5A5A5A, registry)
+        before = [selector.connection(2 * k) for k in range(64)]
+        registry.set_afh_map(0x5A5A5A, _mask(list(range(39))))
+        selector.connection(0)
+        registry.set_afh_map(0x5A5A5A, None)
+        assert [selector.connection(2 * k) for k in range(64)] == before
+
+    def test_clearing_an_absent_map_is_free(self):
+        registry = HopRegistry()
+        generation = registry.generation
+        registry.set_afh_map(42, None)
+        assert registry.generation == generation
+
+
+class TestWorldIsolation:
+    def test_same_address_different_worlds_different_maps(self):
+        """The headline fix at kernel level: one hop address can carry a
+        different adaptive map in each world."""
+        address = 0xABCDEF
+        world_a, world_b = HopRegistry(), HopRegistry()
+        sel_a = HopSelector(address, world_a)
+        sel_b = HopSelector(address, world_b)
+        world_a.set_afh_map(address, _mask(list(range(40, 79))))
+        world_b.set_afh_map(address, _mask(list(range(39))))
+        clks = [2 * k for k in range(128)]
+        freqs_a = [sel_a.connection(clk) for clk in clks]
+        freqs_b = [sel_b.connection(clk) for clk in clks]
+        assert all(freq < 40 for freq in freqs_a)
+        assert all(freq >= 39 for freq in freqs_b)
+
+    def test_clear_in_one_world_leaves_the_other(self):
+        address = 7
+        world_a, world_b = HopRegistry(), HopRegistry()
+        world_a.set_afh_map(address, _mask([0]))
+        world_b.set_afh_map(address, _mask([1]))
+        world_a.clear_afh_maps()
+        assert world_a.afh_map(address) is None
+        assert world_b.afh_map(address) is not None
+
+    def test_selectors_share_memos_within_a_world_only(self):
+        address = 0x111111
+        world_a, world_b = HopRegistry(), HopRegistry()
+        sel_a1 = HopSelector(address, world_a)
+        sel_a2 = HopSelector(address, world_a)
+        sel_b = HopSelector(address, world_b)
+        assert sel_a1._connection_memo is sel_a2._connection_memo
+        assert sel_a1._connection_memo is not sel_b._connection_memo
+
+
+class TestAfhMapValidation:
+    def test_rejects_wrong_shape(self):
+        registry = HopRegistry()
+        with pytest.raises(ValueError):
+            registry.set_afh_map(0, np.ones(10, dtype=bool))
+
+    def test_rejects_empty_hop_set(self):
+        registry = HopRegistry()
+        with pytest.raises(ValueError):
+            registry.set_afh_map(0, np.zeros(units.NUM_CHANNELS, dtype=bool))

@@ -2,10 +2,16 @@
 
 With a static full-band interferer parked on 20 channels, ``ext_afh`` must
 show AFH-on goodput recovering at least 80 % of the clean-channel baseline
-while AFH-off stays degraded.
+while AFH-off stays degraded.  The jammer-turns-off phase must then win
+the excluded channels back through probing re-admission, and an archived
+trial timeline must replay the AFH map installs and capture losses that
+explain the goodput numbers.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -51,3 +57,93 @@ class TestRecovery:
         clean = result.rows[0]
         assert clean[2] == pytest.approx(clean[1], rel=0.02)
         assert clean[5] == 79  # full hop set retained
+
+
+class TestJammerOff:
+    """The jammer-turns-off phase: probing re-admission wins the hop set
+    back once the interferer goes silent."""
+
+    @pytest.fixture(autouse=True)
+    def fast_assessments(self, monkeypatch):
+        monkeypatch.setattr(ext_afh, "ASSESS_INTERVAL_SLOTS", 100)
+
+    def test_hop_set_recovers_to_full_band(self):
+        jammed, recovered = ext_afh.measure_jammer_off_recovery(
+            20, seed=7, learn_slots=1200, recovery_slots=4500)
+        # the jam (plus mis-attribution collateral) shrank the hop set...
+        assert jammed <= 59
+        # ...and with clean air every probe sticks: the full band returns
+        assert recovered == 79
+
+    def test_sticky_exclusion_never_recovers(self):
+        """probe_interval=0 (the default sticky policy) is the contrast:
+        an excluded channel gets no more traffic, hence no evidence for
+        re-admission, and the hop set stays shrunk after the jammer is
+        gone."""
+        jammed, recovered = ext_afh.measure_jammer_off_recovery(
+            20, seed=7, learn_slots=1200, recovery_slots=4500,
+            probe_interval=0)
+        assert jammed <= 59
+        assert recovered == jammed
+
+    def test_recovery_is_deterministic(self):
+        first = ext_afh.measure_jammer_off_recovery(
+            10, seed=3, learn_slots=1200, recovery_slots=3000)
+        second = ext_afh.measure_jammer_off_recovery(
+            10, seed=3, learn_slots=1200, recovery_slots=3000)
+        assert first == second
+
+
+class TestTimelineArchive:
+    """REPRO_TIMELINE_DIR drill-down: a campaign trial archives a replayable
+    timeline whose AFH map installs and capture losses explain its row."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_windows(self, monkeypatch):
+        monkeypatch.setattr(ext_afh, "LEARN_SLOTS", 1200)
+        monkeypatch.setattr(ext_afh, "OBSERVE_SLOTS", 800)
+
+    def test_archived_trial_explains_its_goodput(self, tmp_path, monkeypatch):
+        # reference run without archiving
+        monkeypatch.delenv("REPRO_TIMELINE_DIR", raising=False)
+        plain = ext_afh.run_point(20, True, seed=3)
+
+        monkeypatch.setenv("REPRO_TIMELINE_DIR", str(tmp_path))
+        goodput, hop_set = ext_afh.run_point(20, True, seed=3)
+        # capture is observational: archiving must not move the numbers
+        assert (goodput, hop_set) == plain
+
+        path = tmp_path / "ext_afh__jam20_afhon_seed3.jsonl"
+        assert path.exists()
+        events = [json.loads(line) for line in
+                  path.read_text().splitlines()]
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event["kind"], []).append(event)
+
+        # the jam destroyed packets: capture losses on the jammed block,
+        # each with the SIR margin that killed it (0 dBm vs 0 dBm jam)
+        losses = by_kind["capture_loss"]
+        jammed_losses = [e for e in losses if e["freq"] is not None
+                         and e["freq"] < 20]
+        assert jammed_losses
+        assert all(e["sir_db"] <= 0.0 for e in jammed_losses
+                   if e.get("sir_db") is not None)
+
+        # the classifier reacted: map installs, the last of which IS the
+        # hop set the campaign row reports
+        installs = by_kind["afh_map"]
+        assert installs
+        final = installs[-1]
+        assert final["n_used"] == hop_set
+        # ...and the converged map excludes the bulk of the jammed block
+        assert len([c for c in final["excluded"] if c < 20]) >= 15
+
+        # timestamps are monotone, so the archive replays in event order
+        times = [e["t_ns"] for e in events]
+        assert times == sorted(times)
+
+    def test_no_archive_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMELINE_DIR", raising=False)
+        ext_afh.run_point(0, False, seed=2)
+        assert not list(Path(tmp_path).glob("*.jsonl"))

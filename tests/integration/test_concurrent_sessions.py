@@ -1,0 +1,122 @@
+"""Two concurrent live Sessions in one process — the headline bugfix.
+
+Hop-selection memos and adaptive (AFH) channel maps used to live in
+process-global ``HopSelector`` class state, and ``Session.__init__``
+cleared the map table as a workaround — so constructing a second session
+silently stripped a live first session's adaptive hop sets.  State is now
+world-scoped (one :class:`~repro.baseband.hop.HopRegistry` per channel),
+and these tests pin the end-to-end consequences: sessions can interleave
+freely, each converges to its own map, and a world's results do not
+depend on what other worlds exist in the process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.baseband.packets import PacketType
+from repro.config import AfhConfig
+from repro.experiments.common import page_up_pair, paper_config
+from repro.link.traffic import SaturatedTraffic
+
+#: Fast-assessment AFH profile so maps install inside a short test run.
+_AFH = AfhConfig(enabled=True, min_samples=4, assess_interval_slots=100)
+
+
+def _afh_session(seed: int, jammed) -> tuple[Session, object, object]:
+    """One saturated DM1 piconet with AFH on and ``jammed`` channels under
+    a 0 dBm static interferer (the ext_afh scenario at test scale)."""
+    config = dataclasses.replace(paper_config(seed=seed, t_poll_slots=4000),
+                                 afh=_AFH)
+    session = Session(config=config)
+    master, slave = page_up_pair(session, label="concurrent")
+    if jammed:
+        session.channel.add_static_interferer(jammed, power_dbm=0.0)
+    SaturatedTraffic(master, 1, ptype=PacketType.DM1).start()
+    return session, master, slave
+
+
+def _outcome(session, master, slave) -> tuple:
+    afh = master.connection_master.afh
+    return (slave.rx_buffer.total_bytes,
+            master.connection_master.stats_tx_packets,
+            afh.hop_set_size, afh.maps_installed)
+
+
+class TestConcurrentLiveSessions:
+    def test_second_session_does_not_stomp_a_live_first(self):
+        """Regression for the one-live-AFH-session bug: a session paused
+        mid-run while another world is built and run must finish with
+        exactly the outcome of an undisturbed solo run."""
+        solo_session, solo_master, solo_slave = _afh_session(5, range(20))
+        solo_session.run_slots(1600)
+        solo = _outcome(solo_session, solo_master, solo_slave)
+
+        session_a, master_a, slave_a = _afh_session(5, range(20))
+        session_a.run_slots(800)
+        # maps are installed and live in world A...
+        assert master_a.hop_selector.afh_map is not None
+        # ...when world B is constructed and run to convergence
+        session_b, master_b, slave_b = _afh_session(5, range(20))
+        session_b.run_slots(1600)
+        # world A's maps survived B's construction and full run
+        assert master_a.hop_selector.afh_map is not None
+        session_a.run_slots(800)
+        assert _outcome(session_a, master_a, slave_a) == solo
+        assert _outcome(session_b, master_b, slave_b) == solo
+
+    def test_same_address_converges_to_each_worlds_own_jam(self):
+        """Same seed ⇒ the two worlds' masters draw the same BD_ADDR, so
+        both worlds key the same 28-bit hop address — yet each converges
+        to a map excluding *its* jammed block."""
+        low_jam = range(0, 20)
+        high_jam = range(59, 79)
+        session_a, master_a, _ = _afh_session(9, low_jam)
+        session_b, master_b, _ = _afh_session(9, high_jam)
+        assert master_a.addr == master_b.addr
+        # interleave the two worlds in coarse steps
+        for _ in range(8):
+            session_a.run_slots(200)
+            session_b.run_slots(200)
+        map_a = master_a.hop_selector.afh_map
+        map_b = master_b.hop_selector.afh_map
+        assert map_a is not None and map_b is not None
+        excluded_a = np.flatnonzero(~map_a.used_mask)
+        excluded_b = np.flatnonzero(~map_b.used_mask)
+        assert len(np.intersect1d(excluded_a, np.array(low_jam))) >= 15
+        assert len(np.intersect1d(excluded_b, np.array(high_jam))) >= 15
+
+    def test_memos_are_world_scoped(self):
+        """Selectors bound to the same hop address share a memo within a
+        world but never across worlds."""
+        session_a, master_a, slave_a = _afh_session(3, None)
+        session_b, master_b, _ = _afh_session(3, None)
+        # the slave's connection selector is bound to the *master's* hop
+        # address, so inside one world it shares the master's memo
+        assert master_a.hop_selector._connection_memo \
+            is slave_a.connection_slave.selector._connection_memo
+        assert master_a.hop_selector._connection_memo \
+            is not master_b.hop_selector._connection_memo
+        assert session_a.hop_registry is not session_b.hop_registry
+
+    def test_clean_band_worlds_interleave_identically(self):
+        """Without any interferer the same invariance holds (covers the
+        memo side on its own: fills in one world must not leak wrong
+        frequencies into the other)."""
+        solo_session, solo_master, solo_slave = _afh_session(11, None)
+        solo_session.run_slots(1000)
+        solo = _outcome(solo_session, solo_master, solo_slave)
+
+        session_a, master_a, slave_a = _afh_session(11, None)
+        session_b, master_b, slave_b = _afh_session(11, None)
+        for _ in range(5):
+            session_a.run_slots(100)
+            session_b.run_slots(200)
+        session_a.run_slots(500)
+        assert _outcome(session_a, master_a, slave_a) == solo
+        session_b.run_slots(0)
+        assert _outcome(session_b, master_b, slave_b)[:2] == solo[:2]

@@ -9,7 +9,13 @@ import pytest
 from repro import units
 from repro.api import Session
 from repro.baseband.address import BdAddr
-from repro.baseband.hop import AfhMap, HopSelector, afh_channel_register
+from repro.baseband.hop import (
+    DEFAULT_REGISTRY,
+    AfhMap,
+    HopRegistry,
+    HopSelector,
+    afh_channel_register,
+)
 from repro.config import AfhConfig, ConfigError
 from repro.link.afh import AfhController, ChannelClassifier
 from repro.link.piconet import Piconet
@@ -17,10 +23,11 @@ from repro.link.piconet import Piconet
 
 @pytest.fixture(autouse=True)
 def fresh_afh_state():
-    """AFH maps are world-scoped class state; keep tests independent."""
-    HopSelector.clear_afh_maps()
+    """Bare selectors share the module-level default registry; keep its
+    AFH maps from leaking between tests."""
+    DEFAULT_REGISTRY.clear_afh_maps()
     yield
-    HopSelector.clear_afh_maps()
+    DEFAULT_REGISTRY.clear_afh_maps()
 
 
 def _mask(used_channels) -> np.ndarray:
@@ -84,21 +91,19 @@ class TestHopSelectorRemap:
         used = _mask(list(range(10, 50)) + [77])
         clks = [4096 + 2 * k for k in range(150)]
 
-        HopSelector._connection_memos.clear()
-        windowed_selector = HopSelector(self.ADDRESS)
+        # separate registries: both fill paths start from empty memos
+        windowed_selector = HopSelector(self.ADDRESS, HopRegistry())
         windowed_selector.set_afh_map(used)
         windowed = [windowed_selector.connection(clk) for clk in clks]
 
-        HopSelector._connection_memos.clear()
         saved = HopSelector.WINDOW_SLOTS
         HopSelector.WINDOW_SLOTS = 1
         try:
-            scalar_selector = HopSelector(self.ADDRESS)
+            scalar_selector = HopSelector(self.ADDRESS, HopRegistry())
             scalar_selector.set_afh_map(used)
             scalar = [scalar_selector.connection(clk) for clk in clks]
         finally:
             HopSelector.WINDOW_SLOTS = saved
-            HopSelector._connection_memos.clear()
         assert windowed == scalar
         assert all(isinstance(freq, int) for freq in windowed)
 
@@ -149,11 +154,16 @@ class TestHopSelectorRemap:
         mask[5] = False  # the installed map copied; caller's stays writable
         assert selector.afh_map.used_mask[5]  # and the copy is unaffected
 
-    def test_session_reset_clears_maps(self):
+    def test_session_construction_leaves_other_registries_alone(self):
+        """Regression: building a fresh Session used to clear the
+        process-global map registry, stripping any live selector's
+        installed map.  Registries are world-scoped now, so a new world
+        must leave every other registry untouched."""
         selector = HopSelector(self.ADDRESS)
         selector.set_afh_map(_mask(range(30)))
         Session(seed=1)
-        assert selector.afh_map is None
+        assert selector.afh_map is not None
+        assert all(selector.connection(2 * k) < 30 for k in range(100))
 
 
 class TestPiconetWiring:
@@ -185,11 +195,14 @@ class TestClassifier:
         assert classifier.tx_counts[7] == 5
 
 
-def _controller(min_channels=20, min_samples=4, threshold=0.5):
-    piconet = Piconet(BdAddr(lap=0x1A2B3C, uap=0x21, nap=0x4321))
+def _controller(min_channels=20, min_samples=4, threshold=0.5,
+                probe_interval=0):
+    piconet = Piconet(BdAddr(lap=0x1A2B3C, uap=0x21, nap=0x4321),
+                      registry=HopRegistry())
     config = AfhConfig(enabled=True, min_channels=min_channels,
                        min_samples=min_samples,
-                       bad_per_threshold=threshold)
+                       bad_per_threshold=threshold,
+                       probe_interval_assessments=probe_interval)
     return AfhController(piconet, config), piconet
 
 
@@ -262,6 +275,55 @@ class TestController:
         assert classifier.tx_counts[13] == 1 and classifier.fail_counts[13] == 1
         assert classifier.tx_counts[14] == 1 and classifier.fail_counts[14] == 0
 
+    def test_probe_readmits_then_fresh_evidence_reexcludes(self):
+        """Probation gives an excluded channel a fresh evidence window: it
+        is re-admitted with its counters reset, and a still-present
+        interferer re-excludes it through the ordinary path once
+        min_samples fresh failures accumulate."""
+        controller, piconet = _controller(probe_interval=2, min_samples=4)
+        for _ in range(6):
+            controller.classifier.record(3, ok=False)
+        controller.assess()                      # 1st: excluded
+        assert controller.hop_set_size == 78
+        controller.assess()                      # 2nd: probe re-admits
+        assert controller.probes_started == 1
+        assert controller.hop_set_size == 79
+        assert piconet.channel_map is None
+        assert controller.classifier.tx_counts[3] == 0  # fresh window
+        for _ in range(4):                       # still jammed
+            controller.classifier.record(3, ok=False)
+        controller.assess()                      # 3rd: fresh evidence bad
+        assert controller.hop_set_size == 78
+        assert not piconet.channel_map[3]
+
+    def test_probe_keeps_channel_when_interferer_vacated(self):
+        controller, piconet = _controller(probe_interval=2, min_samples=4)
+        for _ in range(6):
+            controller.classifier.record(7, ok=False)
+        controller.assess()
+        controller.assess()                      # probe re-admits 7
+        assert controller.hop_set_size == 79
+        for _ in range(6):                       # jammer gone: clean traffic
+            controller.classifier.record(7, ok=True)
+        controller.assess()
+        assert controller.hop_set_size == 79
+        assert piconet.channel_map is None
+
+    def test_probes_rotate_over_the_excluded_set(self):
+        controller, _ = _controller(probe_interval=1, min_samples=2)
+        for channel in (10, 20, 30):
+            for _ in range(4):
+                controller.classifier.record(channel, ok=False)
+        # one probe per assessment; the cursor walks the excluded set in
+        # channel order, so three assessments re-admit all three (each
+        # probe resets that channel's counters, leaving no evidence to
+        # re-exclude any of them)
+        for _ in range(3):
+            controller.assess()
+        assert controller.probes_started == 3
+        assert controller.hop_set_size == 79
+        assert (controller.classifier.tx_counts[[10, 20, 30]] == 0).all()
+
     def test_maybe_assess_waits_one_interval(self):
         controller, _ = _controller()
         for _ in range(6):
@@ -286,6 +348,8 @@ class TestAfhConfigValidation:
             AfhConfig(min_samples=0)
         with pytest.raises(ConfigError):
             AfhConfig(assess_interval_slots=0)
+        with pytest.raises(ConfigError):
+            AfhConfig(probe_interval_assessments=-1)
 
 
 class TestEndToEnd:

@@ -22,7 +22,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.baseband.hop import HopSelector
+from repro.baseband.hop import HopRegistry, HopSelector
 from repro.experiments.ext_interference import build_campaign_session
 from repro.phy.channel import Channel
 
@@ -56,10 +56,10 @@ def _digest(outcome: tuple) -> str:
 @pytest.fixture
 def scalar_paths(monkeypatch):
     """Restore the pre-PR scalar behaviour: per-listener sync events and
-    per-call hop-memo fills (fresh memos so every fill is exercised)."""
+    per-call hop-memo fills (each session's world-scoped registry starts
+    empty, so every fill is exercised)."""
     monkeypatch.setattr(Channel, "batch_sync", False)
     monkeypatch.setattr(HopSelector, "WINDOW_SLOTS", 1)
-    monkeypatch.setattr(HopSelector, "_connection_memos", {})
 
 
 @pytest.mark.parametrize("name,kwargs,golden", [
@@ -72,7 +72,6 @@ def test_fast_paths_match_scalar_golden(name, kwargs, golden, monkeypatch):
     fast = _run_scenario(**kwargs)
     monkeypatch.setattr(Channel, "batch_sync", False)
     monkeypatch.setattr(HopSelector, "WINDOW_SLOTS", 1)
-    monkeypatch.setattr(HopSelector, "_connection_memos", {})
     scalar = _run_scenario(**kwargs)
     assert fast == scalar, f"{name}: fast paths diverge from scalar paths"
     assert _digest(fast) == golden, \
@@ -88,14 +87,14 @@ def test_windowed_hop_fill_matches_scalar_fill(scalar_paths):
         clks = [clk_base + 2 * k for k in range(150)] + \
                [clk_base + 1 + 2 * k for k in range(10)] + \
                [int(rng.integers(0, 1 << 27)) for _ in range(20)]
-        scalar_selector = HopSelector(int(address))
+        # each selector gets its own registry, so both fill paths start
+        # from empty memos regardless of what ran before
+        scalar_selector = HopSelector(int(address), HopRegistry())
         scalar = [scalar_selector.connection(clk) for clk in clks]
-        HopSelector._connection_memos.clear()
         HopSelector.WINDOW_SLOTS = 64
-        windowed_selector = HopSelector(int(address))
+        windowed_selector = HopSelector(int(address), HopRegistry())
         windowed = [windowed_selector.connection(clk) for clk in clks]
         HopSelector.WINDOW_SLOTS = 1
-        HopSelector._connection_memos.clear()
         assert windowed == scalar
         assert all(isinstance(freq, int) for freq in windowed)
 

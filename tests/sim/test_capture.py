@@ -1,0 +1,140 @@
+"""TimelineCapture unit tests: ring bound, typed records, query/filter,
+replay rendering and the three export paths (signals, VCD bridge, JSONL).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.sim.capture import KINDS, TimelineCapture, TimelineEvent
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+def _fake_tx(path="m0.rf", freq=17, ptype="DM1", purpose="data",
+             duration_ns=366_000, corrupted=False,
+             power_mw=1.0, interference_mw=0.0):
+    """The attribute subset of a Transmission the recorders read."""
+    return SimpleNamespace(
+        radio=SimpleNamespace(path=path), freq=freq,
+        packet=SimpleNamespace(ptype=SimpleNamespace(value=ptype)),
+        meta=SimpleNamespace(purpose=purpose), duration_ns=duration_ns,
+        corrupted=corrupted, power_mw=power_mw,
+        interference_mw=interference_mw)
+
+
+class TestRecording:
+    def test_typed_records_land_with_kind_and_counts(self):
+        cap = TimelineCapture()
+        cap.hop(1000, "m0", clk=4, freq=33)
+        cap.tx_start(1000, _fake_tx())
+        cap.tx_end(1366, _fake_tx(corrupted=True))
+        cap.capture_loss(1200, _fake_tx(interference_mw=2.0))
+        cap.arq_retx(2000, "m0", freq=5, am_addr=1, seqn=0)
+        cap.afh_map(3000, "afh.9E8B33", n_used=59, excluded=[0, 1])
+        cap.assess(3000, "afh.9E8B33", n_bad=2, installed=True)
+        assert len(cap) == 7
+        assert cap.counts() == {kind: 1 for kind in KINDS}
+        assert [event.kind for event in cap.events()] == list(KINDS)
+
+    def test_capture_loss_sir_margin(self):
+        cap = TimelineCapture()
+        cap.capture_loss(0, _fake_tx(power_mw=1.0, interference_mw=2.0))
+        cap.capture_loss(0, _fake_tx(power_mw=1.0, interference_mw=0.0))
+        with_sir, without = cap.events(kind="capture_loss")
+        assert with_sir.data["sir_db"] == pytest.approx(-3.01)
+        assert without.data["sir_db"] is None
+
+    def test_ring_is_bounded_but_counts_are_not(self):
+        cap = TimelineCapture(capacity=8)
+        for k in range(20):
+            cap.hop(k, "m0", clk=2 * k, freq=k % 79)
+        assert len(cap) == 8
+        assert cap.counts()["hop"] == 20
+        # oldest evicted first: the retained ring is the tail
+        assert [event.t_ns for event in cap.events()] == list(range(12, 20))
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TimelineCapture(capacity=0)
+
+
+class TestQuery:
+    @pytest.fixture
+    def cap(self):
+        cap = TimelineCapture()
+        cap.hop(100, "m0", clk=0, freq=7)
+        cap.hop(200, "m1", clk=0, freq=7)
+        cap.hop(300, "m0", clk=2, freq=11)
+        cap.tx_start(300, _fake_tx(path="m0.rf", freq=11))
+        return cap
+
+    def test_filter_by_kind_freq_and_window(self, cap):
+        assert len(cap.events(kind="hop")) == 3
+        assert len(cap.events(freq=7)) == 2
+        assert [event.t_ns for event in cap.events(start_ns=200,
+                                                   end_ns=300)] == [200]
+
+    def test_src_matches_exact_or_dotted_prefix(self, cap):
+        assert len(cap.events(src="m0")) == 3  # m0 and m0.rf, not m1
+        assert len(cap.events(src="m0.rf")) == 1
+        assert cap.events(src="m") == []
+
+    def test_replay_renders_one_line_per_match(self, cap):
+        lines = list(cap.replay(kind="hop", src="m0"))
+        assert len(lines) == 2
+        assert "hop" in lines[0] and "ch=7" in lines[0] and "clk=0" in lines[0]
+
+
+class TestExport:
+    def test_to_signals_one_per_kind_in_causal_order(self):
+        cap = TimelineCapture()
+        cap.tx_start(50, _fake_tx())
+        cap.hop(10, "m0", clk=0, freq=3)
+        cap.hop(20, "m0", clk=2, freq=4)
+        signals = cap.to_signals()
+        assert [signal.name for signal in signals] == \
+            ["timeline.hop", "timeline.tx_start"]
+        hop = signals[0]
+        assert hop.times == [10, 20]
+        assert all(isinstance(value, str) for value in hop.values)
+
+    def test_inject_bridges_into_vcd(self):
+        sim = Simulator()
+        recorder = TraceRecorder(sim)
+        cap = TimelineCapture()
+        cap.hop(1000, "m0", clk=0, freq=42)
+        cap.inject(recorder)
+        vcd = recorder.to_vcd()
+        assert "timeline" in vcd
+        assert "hop" in vcd
+
+    def test_to_jsonl_round_trips(self):
+        cap = TimelineCapture()
+        cap.hop(100, "m0", clk=6, freq=9)
+        cap.afh_map(200, "afh.1", n_used=59, excluded=[0, 1])
+        buffer = io.StringIO()
+        assert cap.to_jsonl(buffer) == 2
+        first, second = [json.loads(line)
+                         for line in buffer.getvalue().splitlines()]
+        assert first == {"t_ns": 100, "kind": "hop", "src": "m0",
+                         "freq": 9, "clk": 6}
+        assert second["excluded"] == [0, 1]
+        assert second["freq"] is None
+
+
+class TestDescribe:
+    def test_describe_includes_channel_and_details(self):
+        event = TimelineEvent(123, "capture_loss", "s0.rf", 40,
+                              {"sir_db": -3.0})
+        line = event.describe()
+        assert "capture_loss" in line and "s0.rf" in line
+        assert "ch=40" in line and "sir_db=-3.0" in line
+
+    def test_describe_omits_channel_when_absent(self):
+        line = TimelineEvent(5, "assess", "afh.1").describe()
+        assert "ch=" not in line
