@@ -9,11 +9,19 @@ Usage::
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) fans Monte Carlo
 trials out over worker processes; results are identical at any job count
 because every trial is a pure function of its derived seed.
+
+``--resume-dir`` (or ``REPRO_RESUME_DIR``) journals every completed trial
+to an on-disk result store, so a campaign killed mid-run — worker death,
+Ctrl-C, power loss — restarts from its checkpoint and finishes
+byte-identical to an uninterrupted run.  ``REPRO_CHAOS`` (see
+:mod:`repro.stats.chaos`) deterministically injects worker crashes,
+hangs and transient exceptions to exercise that recovery path.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -39,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "The REPRO_JOBS environment variable, when "
                                  "set, overrides this flag — mirroring "
                                  "REPRO_TRIALS vs --trials")
+    run_parser.add_argument("--resume-dir", default=None,
+                            help="directory for on-disk result journals: "
+                                 "completed trials are checkpointed there "
+                                 "and skipped on restart, so a killed "
+                                 "campaign resumes byte-identically "
+                                 "(equivalent to setting REPRO_RESUME_DIR)")
     return parser
 
 
@@ -46,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments import EXPERIMENTS, run_experiment
 
     args = build_parser().parse_args(argv)
+    if getattr(args, "resume_dir", None):
+        # env-var plumbing rather than a kwarg: every experiment's
+        # run_sweep/run_sweeps/map_points reads REPRO_RESUME_DIR as its
+        # fallback, so the flag covers experiments without a resume param
+        from repro.stats.store import RESUME_DIR_ENV_VAR
+        os.environ[RESUME_DIR_ENV_VAR] = args.resume_dir
     if args.command == "list":
         width = max(len(key) for key in EXPERIMENTS)
         for key, (_, description) in sorted(EXPERIMENTS.items()):

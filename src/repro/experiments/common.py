@@ -10,9 +10,23 @@ from typing import Callable, Optional
 from repro import units
 from repro.config import SimulationConfig
 from repro.link.page import PageTarget
-from repro.stats.executor import Executor, get_executor
+from repro.stats.chaos import ChaosConfig
+from repro.stats.executor import Executor, default_jobs, get_executor
 from repro.stats.montecarlo import TrialOutcome
-from repro.stats.sweep import Sweep, SweepPoint, run_flattened
+from repro.stats.resilient import ResilientExecutor
+from repro.stats.store import (
+    RESUME_DIR_ENV_VAR,
+    ResultStore,
+    campaign_digest,
+    map_with_store,
+)
+from repro.stats.sweep import (
+    Sweep,
+    SweepPoint,
+    callable_name,
+    campaign_spec,
+    run_flattened,
+)
 from repro.stats.tables import format_table
 
 #: The paper's BER grid (Figs. 6-8): 1/100 to 1/30, plus a zero-noise point.
@@ -54,6 +68,58 @@ def timeline_dir() -> Optional[str]:
     is off (unset or blank)."""
     value = os.environ.get(TIMELINE_DIR_ENV_VAR, "").strip()
     return value or None
+
+
+def resume_dir() -> Optional[str]:
+    """The REPRO_RESUME_DIR journal directory, or None when resumable
+    execution is off (unset or blank)."""
+    value = os.environ.get(RESUME_DIR_ENV_VAR, "").strip()
+    return value or None
+
+
+def _store_name(fn: Callable) -> str:
+    """A stable journal filename stem for ``fn``'s campaign (module tail
+    plus qualname, filesystem-safe)."""
+    stem = callable_name(fn).rsplit(".", 2)[-2:]
+    return "".join(ch if ch.isalnum() or ch in "-_" else "_"
+                   for ch in "__".join(stem))
+
+
+def campaign_store(name: str, spec, resume: Optional[str] = None
+                   ) -> Optional[ResultStore]:
+    """The result journal of campaign ``name``/``spec``, or None.
+
+    ``resume`` names the journal directory explicitly; otherwise
+    ``REPRO_RESUME_DIR`` is consulted, and None (journalling off) is
+    returned when neither is set.  The journal file is
+    ``<dir>/<name>.jsonl``, its header bound to ``campaign_digest(spec)``
+    — resuming with a changed spec (different seed, trial count, grid or
+    trial function) is refused rather than silently mixed.
+    """
+    directory = resume if resume is not None else resume_dir()
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.jsonl")
+    return ResultStore(path, campaign_digest(spec), meta={"campaign": name})
+
+
+def _campaign_executor(jobs: Optional[int],
+                       store: Optional[ResultStore]) -> Executor:
+    """The execution backend for one campaign run.
+
+    The plain backends when nothing fault-tolerant is in play; the
+    :class:`~repro.stats.resilient.ResilientExecutor` as soon as a result
+    journal is active or ``REPRO_CHAOS`` schedules fault injection — a
+    journalled campaign should survive the worker deaths the journal
+    exists for.  Sequential runs (jobs resolves to 1) stay on the
+    reference backend; journal resume still applies there through
+    :func:`~repro.stats.store.map_with_store`.
+    """
+    chaos = ChaosConfig.from_env()
+    if default_jobs(jobs) > 1 and (store is not None or chaos is not None):
+        return ResilientExecutor(jobs=default_jobs(jobs), chaos=chaos)
+    return get_executor(jobs)
 
 
 def archive_timeline(session, experiment_id: str, label: str) -> Optional[str]:
@@ -130,7 +196,9 @@ def run_sweep(seed: int, trials: int, xs: list[tuple[float, str]],
               jobs: Optional[int] = None,
               legacy_seeds: bool = False,
               executor: Optional[Executor] = None,
-              dispatch: str = "flat") -> list[SweepPoint]:
+              dispatch: str = "flat",
+              resume: Optional[str] = None,
+              store_name: Optional[str] = None) -> list[SweepPoint]:
     """Run the standard Monte-Carlo sweep of an experiment.
 
     ``jobs`` picks the execution backend (``REPRO_JOBS`` overrides, 1 =
@@ -140,13 +208,31 @@ def run_sweep(seed: int, trials: int, xs: list[tuple[float, str]],
     then owns its lifetime).  ``dispatch`` selects the flattened work
     queue (default) or the legacy per-point loop — results are identical,
     only the barrier structure differs (see :mod:`repro.stats.sweep`).
+
+    ``resume`` (or the ``REPRO_RESUME_DIR`` environment variable) makes
+    the run **kill-and-resume safe**: completed trials are journalled to
+    ``<dir>/<store_name>.jsonl`` as they finish, already-journalled ones
+    are skipped on restart, and the journal header refuses a campaign
+    spec that differs from the one that wrote it.  When a journal (or
+    ``REPRO_CHAOS`` fault injection) is active and the run is parallel,
+    the backend is the :class:`~repro.stats.resilient.ResilientExecutor`,
+    which additionally survives worker deaths and stragglers in place.
+    Aggregates stay byte-identical to a clean sequential run throughout.
     """
     sweep = Sweep(master_seed=seed, trials_per_point=trials,
                   legacy_seeds=legacy_seeds)
-    if executor is not None:
-        return sweep.run(xs, trial_fn, executor=executor, dispatch=dispatch)
-    with get_executor(jobs) as owned:
-        return sweep.run(xs, trial_fn, executor=owned, dispatch=dispatch)
+    spec = campaign_spec([(sweep, xs, trial_fn)])
+    store = campaign_store(store_name or _store_name(trial_fn), spec, resume)
+    try:
+        if executor is not None:
+            return sweep.run(xs, trial_fn, executor=executor,
+                             dispatch=dispatch, store=store)
+        with _campaign_executor(jobs, store) as owned:
+            return sweep.run(xs, trial_fn, executor=owned,
+                             dispatch=dispatch, store=store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 def run_sweeps(specs: list[tuple[int, int, list[tuple[float, str]],
@@ -154,6 +240,8 @@ def run_sweeps(specs: list[tuple[int, int, list[tuple[float, str]],
                jobs: Optional[int] = None,
                legacy_seeds: bool = False,
                executor: Optional[Executor] = None,
+               resume: Optional[str] = None,
+               store_name: Optional[str] = None,
                ) -> list[list[SweepPoint]]:
     """Run several sweeps as one flattened work queue.
 
@@ -162,14 +250,25 @@ def run_sweeps(specs: list[tuple[int, int, list[tuple[float, str]],
     so neither point boundaries nor sweep boundaries act as join barriers
     (Fig. 8 uses this for its inquiry + page pair).  Results are
     byte-identical to running each sweep separately.
+
+    ``resume``/``REPRO_RESUME_DIR`` journal the combined queue into one
+    file (keys carry the sweep index, so the sweeps never collide) with
+    the same kill-and-resume semantics as :func:`run_sweep`.
     """
     sweeps = [(Sweep(master_seed=seed, trials_per_point=trials,
                      legacy_seeds=legacy_seeds), xs, trial_fn)
               for seed, trials, xs, trial_fn in specs]
-    if executor is not None:
-        return run_flattened(sweeps, executor)
-    with get_executor(jobs) as owned:
-        return run_flattened(sweeps, owned)
+    name = store_name or "__".join(
+        _store_name(trial_fn) for _, _, _, trial_fn in specs)
+    store = campaign_store(name, campaign_spec(sweeps), resume)
+    try:
+        if executor is not None:
+            return run_flattened(sweeps, executor, store=store)
+        with _campaign_executor(jobs, store) as owned:
+            return run_flattened(sweeps, owned, store=store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 @dataclass
@@ -184,12 +283,43 @@ class _StarCall:
         return self.fn(*task)
 
 
-def map_points(fn: Callable, tasks: list, jobs: Optional[int] = None) -> list:
+def _task_fingerprint(task) -> int:
+    """A stable 64-bit id of one grid task (its repr digested) — the seed
+    slot of a :func:`map_points` journal key, since these grids have no
+    derived seeds of their own."""
+    import hashlib
+
+    digest = hashlib.blake2b(repr(task).encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def map_points(fn: Callable, tasks: list, jobs: Optional[int] = None,
+               resume: Optional[str] = None,
+               store_name: Optional[str] = None) -> list:
     """Ordered, optionally parallel starmap for non-MonteCarlo experiment
     grids (activity/goodput points): ``fn(*task)`` per task tuple.  ``fn``
-    must be a module-level callable for process fan-out."""
-    with get_executor(jobs) as executor:
-        return executor.map(_StarCall(fn), tasks)
+    must be a module-level callable for process fan-out.
+
+    ``resume``/``REPRO_RESUME_DIR`` journal completed points keyed by
+    ``(0, index, 0, fingerprint)`` — the same kill-and-resume contract as
+    :func:`run_sweep`, with the task list itself digest-bound so a grid
+    change refuses the stale journal.
+    """
+    spec = {"version": 1, "map": callable_name(fn),
+            "tasks": [repr(task) for task in tasks]}
+    store = campaign_store(store_name or _store_name(fn), spec, resume)
+    try:
+        with _campaign_executor(jobs, store) as executor:
+            if store is None:
+                return executor.map(_StarCall(fn), tasks)
+            keys = [(0, index, 0, _task_fingerprint(task))
+                    for index, task in enumerate(tasks)]
+            return map_with_store(executor, _StarCall(fn), tasks, keys,
+                                  store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 @dataclass

@@ -38,6 +38,7 @@ Two drill-down facilities ride along:
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional
 
 from repro import units
@@ -201,15 +202,19 @@ def run_trial(n_jammed: float, seed: int) -> TrialOutcome:
 
 
 def run(trials: int = 4, seed: int = 41,
-        jobs: Optional[int] = None) -> ExperimentResult:
+        jobs: Optional[int] = None,
+        resume: Optional[str] = None) -> ExperimentResult:
     """Sweep the statically jammed channel count with AFH off and on.
 
     ``trials`` Monte-Carlo trials per count (``REPRO_TRIALS`` overrides),
-    flattened into one (count, trial) work queue.
+    flattened into one (count, trial) work queue.  ``resume`` (or
+    ``REPRO_RESUME_DIR``) journals outcomes to disk so a killed campaign
+    restarts from its checkpoint (see :mod:`repro.stats.store`).
     """
     trials = default_trials(trials)
     xs = [(float(count), str(count)) for count in INTERFERER_COUNTS]
-    points = run_sweep(seed, trials, xs, run_trial, jobs=jobs)
+    points = run_sweep(seed, trials, xs, run_trial, jobs=jobs,
+                       resume=resume, store_name="ext_afh")
     result = ExperimentResult(
         experiment_id="ext_afh",
         title="Extension — AFH goodput recovery vs statically jammed channels",
@@ -242,7 +247,13 @@ def run(trials: int = 4, seed: int = 41,
         hop_set = (sum(outcome.extra[1] for outcome in ok) / len(ok)
                    if ok else float("nan"))
         goodput_on = point.mean.mean
-        recovery = (goodput_on / baseline * 100) if baseline else float("nan")
+        # ``baseline`` can only be None or a mean over successful trials
+        # here, but guard NaN anyway (NaN is truthy) so a pathological
+        # baseline renders as the flagged "nan" cell instead of poisoning
+        # the division silently.
+        recovery = (goodput_on / baseline * 100
+                    if baseline and not math.isnan(baseline)
+                    else float("nan"))
         result.rows.append([
             count,
             round(goodput_off, 1),

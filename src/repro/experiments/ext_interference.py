@@ -28,6 +28,7 @@ packet error rate of the observed link with a Wilson interval over all
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro import units
@@ -148,17 +149,24 @@ def run_trial(n_piconets: float, seed: int) -> TrialOutcome:
 
 
 def run(trials: int = 4, seed: int = 22,
-        jobs: Optional[int] = None) -> ExperimentResult:
+        jobs: Optional[int] = None,
+        resume: Optional[str] = None) -> ExperimentResult:
     """Sweep the number of co-located saturated piconets.
 
     ``trials`` Monte-Carlo trials per piconet count (``REPRO_TRIALS``
     overrides), fanned out as one flattened (count, trial) work queue.
     Per-trial seeds come from the two-level collision-free ``derive_seed``
     path, like every other experiment.
+
+    ``resume`` (or ``REPRO_RESUME_DIR``) names a directory holding the
+    campaign's result journal: completed trials are skipped on restart
+    and every fresh outcome is checkpointed as it lands, so a killed
+    campaign resumes byte-identically (see :mod:`repro.stats.store`).
     """
     trials = default_trials(trials)
     xs = [(float(count), str(count)) for count in PICONET_COUNTS]
-    points = run_sweep(seed, trials, xs, run_trial, jobs=jobs)
+    points = run_sweep(seed, trials, xs, run_trial, jobs=jobs,
+                       resume=resume, store_name="ext_interference")
     result = ExperimentResult(
         experiment_id="ext_interference",
         title="Extension — piconet 0 goodput vs co-located piconets",
@@ -171,10 +179,14 @@ def run(trials: int = 4, seed: int = 22,
                f"{trials} trials/count; PER = measured loss on the observed "
                "DM1 link, Wilson 95% interval over all packets"),
     )
-    baseline = points[0].mean.mean if points else None
+    # NaN guard: a zero-successful-trial baseline point yields the
+    # flagged-NaN conditional mean (see _aggregate_point), and NaN is
+    # truthy — ``if baseline`` alone would happily divide by it.
+    baseline = points[0].mean.mean if points else float("nan")
     for count, point in zip(PICONET_COUNTS, points):
         goodput = point.mean.mean
-        loss = (1 - goodput / baseline) * 100 if baseline else 0.0
+        loss = ((1 - goodput / baseline) * 100
+                if baseline and not math.isnan(baseline) else float("nan"))
         tx_total = sum(outcome.extra[1] for outcome in point.extra
                        if outcome.success)
         rx_total = sum(outcome.extra[2] for outcome in point.extra

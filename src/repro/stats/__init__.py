@@ -1,5 +1,6 @@
 """Monte Carlo harness and estimators for the paper's statistical figures."""
 
+from repro.stats.chaos import ChaosConfig, ChaosError
 from repro.stats.estimators import (
     MeanEstimate,
     ProportionEstimate,
@@ -14,20 +15,41 @@ from repro.stats.executor import (
     default_jobs,
     get_executor,
 )
-from repro.stats.montecarlo import MonteCarlo, TrialOutcome, derive_seed
-from repro.stats.sweep import Sweep, SweepPoint
+from repro.stats.montecarlo import (
+    MonteCarlo,
+    TrialExecutionError,
+    TrialOutcome,
+    derive_seed,
+)
+from repro.stats.resilient import ResilientExecutor
+from repro.stats.store import (
+    CorruptJournalError,
+    ResultStore,
+    SpecMismatchError,
+    campaign_digest,
+)
+from repro.stats.sweep import Sweep, SweepPoint, campaign_spec
 from repro.stats.tables import format_table
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "CorruptJournalError",
     "Executor",
     "MeanEstimate",
     "MonteCarlo",
     "ParallelExecutor",
     "ProportionEstimate",
+    "ResilientExecutor",
+    "ResultStore",
     "SequentialExecutor",
+    "SpecMismatchError",
     "Sweep",
     "SweepPoint",
+    "TrialExecutionError",
     "TrialOutcome",
+    "campaign_digest",
+    "campaign_spec",
     "ci_cell",
     "default_jobs",
     "derive_seed",

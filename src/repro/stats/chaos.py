@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the fault-tolerant execution layer.
+
+The recovery machinery in :mod:`repro.stats.resilient` (pool rebuilds,
+chunk re-dispatch, retry, resume-from-journal) is only trustworthy if it
+is itself tested under the repository's determinism contract.  This module
+supplies that test harness: a **seed-scheduled chaos schedule** that maps
+every trial seed to at most one injected fault — a worker-process crash, a
+hang, or a transient exception — through the same :func:`derive_seed`
+diffusion the trials themselves use.  Same chaos seed ⇒ same schedule,
+byte-for-byte, on any host.
+
+Faults fire **once**: each (kind, trial seed) pair is claimed in a ledger
+before injection, so a retried or re-dispatched trial runs clean the
+second time and a chaos-ridden campaign still terminates.  The ledger is a
+directory of ``O_CREAT | O_EXCL`` marker files when ``state_dir`` is set
+(required for crash faults — the claiming process dies, so the claim must
+survive it) and a per-process set otherwise.
+
+Activation: pass a :class:`ChaosConfig` to
+:class:`~repro.stats.resilient.ResilientExecutor`, or set the
+``REPRO_CHAOS`` environment variable, e.g.::
+
+    REPRO_CHAOS="seed=7,crash=0.05,exc=0.1,hang=0.02,hang_s=2"
+
+Injection happens in the worker-side chunk runner, before the trial
+function is entered, so the trial outcomes themselves are never perturbed
+— a chaos-ridden campaign that *completes* is byte-identical to a clean
+one, which is exactly the acceptance bar the resilience suite asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.stats.montecarlo import derive_seed
+
+#: Environment knob: inject deterministic faults into parallel campaigns.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Stream tag namespacing the chaos schedule away from trial seeds.
+CHAOS_STREAM = 0x43414F53  # "CAOS"
+
+#: Exit status of a chaos-crashed worker process (a recognisable corpse).
+CHAOS_EXIT_CODE = 86
+
+#: Fault kinds in threshold order (crash band first, then hang, then exc).
+FAULT_KINDS = ("crash", "hang", "exc")
+
+_TWO64 = float(1 << 64)
+
+#: Fire-once ledger for configs without a ``state_dir``.
+_process_fired: set = set()
+
+
+class ChaosError(RuntimeError):
+    """An injected transient trial fault (retryable by construction)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A deterministic fault schedule over trial seeds.
+
+    ``crash``/``hang``/``exc`` are per-trial fault probabilities (the
+    bands are disjoint, so their sum must stay <= 1).  ``hang_s`` is the
+    injected stall length.  ``state_dir`` hosts the fire-once ledger;
+    leave it ``None`` only for hang/exc faults or let the executor
+    allocate one (crash claims must outlive the crashing process).
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    exc: float = 0.0
+    hang_s: float = 2.0
+    state_dir: Optional[str] = None
+
+    def __post_init__(self):
+        total = self.crash + self.hang + self.exc
+        if not 0.0 <= total <= 1.0 or min(self.crash, self.hang, self.exc) < 0:
+            raise ValueError(
+                f"fault probabilities must be >= 0 and sum to <= 1, got "
+                f"crash={self.crash} hang={self.hang} exc={self.exc}")
+
+    @classmethod
+    def from_env(cls, value: Optional[str] = None) -> Optional["ChaosConfig"]:
+        """Parse ``REPRO_CHAOS`` (or ``value``); None when unset/blank.
+
+        Format: comma-separated ``key=value`` pairs with keys ``seed``,
+        ``crash``, ``hang``, ``exc``, ``hang_s`` and ``state`` (the ledger
+        directory).  Unknown keys are rejected loudly — a typo silently
+        disabling chaos would defeat the harness.
+        """
+        raw = os.environ.get(CHAOS_ENV_VAR, "") if value is None else value
+        raw = raw.strip()
+        if not raw:
+            return None
+        fields: dict = {}
+        for pair in raw.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, val = pair.partition("=")
+            key, val = key.strip(), val.strip()
+            if not sep or not val:
+                raise ValueError(f"malformed {CHAOS_ENV_VAR} entry {pair!r}")
+            if key == "seed":
+                fields["seed"] = int(val, 0)
+            elif key in ("crash", "hang", "exc", "hang_s"):
+                fields[key] = float(val)
+            elif key == "state":
+                fields["state_dir"] = val
+            else:
+                raise ValueError(f"unknown {CHAOS_ENV_VAR} key {key!r}")
+        return cls(**fields)
+
+    def with_state_dir(self, state_dir: str) -> "ChaosConfig":
+        """A copy of this schedule with its ledger at ``state_dir``."""
+        return dataclasses.replace(self, state_dir=state_dir)
+
+    # -- the deterministic schedule --------------------------------------
+
+    def fault_for(self, trial_seed: int) -> Optional[str]:
+        """The fault scheduled for ``trial_seed``, or None.
+
+        A pure function of ``(self.seed, trial_seed)`` — the determinism
+        the chaos suite pins: same chaos seed, same faults, every run.
+        """
+        uniform = derive_seed(self.seed, trial_seed,
+                              stream=CHAOS_STREAM) / _TWO64
+        if uniform < self.crash:
+            return "crash"
+        if uniform < self.crash + self.hang:
+            return "hang"
+        if uniform < self.crash + self.hang + self.exc:
+            return "exc"
+        return None
+
+    def schedule(self, trial_seeds: Iterable[int]) -> dict:
+        """``{trial_seed: fault_kind}`` over ``trial_seeds`` (omits clean
+        trials); what a test asserts against for schedule determinism."""
+        plan = {}
+        for seed in trial_seeds:
+            kind = self.fault_for(seed)
+            if kind is not None:
+                plan[seed] = kind
+        return plan
+
+
+def _claim_fault(config: ChaosConfig, kind: str, trial_seed: int) -> bool:
+    """Atomically claim the (kind, seed) fault; False when already fired.
+
+    With a ``state_dir`` the claim is an ``O_CREAT | O_EXCL`` marker file
+    — race-safe across worker processes and durable across the crash the
+    claimer is about to perform.
+    """
+    token = f"{kind}-{trial_seed:016x}"
+    if config.state_dir is not None:
+        os.makedirs(config.state_dir, exist_ok=True)
+        try:
+            fd = os.open(os.path.join(config.state_dir, token),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+    if token in _process_fired:
+        return False
+    _process_fired.add(token)
+    return True
+
+
+def maybe_inject(config: Optional[ChaosConfig], trial_seed: int) -> None:
+    """Worker-side injection point, called before a trial executes.
+
+    Crash faults take the whole worker process down with
+    :data:`CHAOS_EXIT_CODE` (the parent sees ``BrokenProcessPool``); hang
+    faults stall ``hang_s`` seconds (tripping chunk timeouts); exc faults
+    raise :class:`ChaosError` (retryable).  Each fault fires at most once
+    per ledger, so recovery always makes forward progress.
+    """
+    if config is None:
+        return
+    kind = config.fault_for(trial_seed)
+    if kind is None or not _claim_fault(config, kind, trial_seed):
+        return
+    if kind == "crash":
+        os._exit(CHAOS_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(config.hang_s)
+        return
+    raise ChaosError(
+        f"injected transient fault at trial seed {trial_seed:#018x}")

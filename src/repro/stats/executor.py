@@ -67,7 +67,16 @@ class Executor:
 
         ``progress(index, result)`` is invoked in index order; under a
         parallel backend it fires as ordered results become available, not
-        as workers finish.
+        as workers finish.  Note the batching this implies: a chunked
+        backend like :class:`ParallelExecutor` consumes futures in
+        submission order, so ``progress`` fires in whole-chunk bursts only
+        after each chunk's ``future.result()`` returns — and not at all
+        for chunks that completed out of order until the gap before them
+        closes.  Callers needing liveness rather than ordered streaming
+        (monitoring, checkpoint telemetry) should use
+        :class:`~repro.stats.resilient.ResilientExecutor`'s journal-backed
+        ``on_progress`` hook, which reports completed/total counts in
+        completion order.
         """
         raise NotImplementedError
 

@@ -76,6 +76,40 @@ class TrialOutcome:
     extra: Any = None
 
 
+class TrialExecutionError(RuntimeError):
+    """A trial raised mid-campaign, tagged with its replay coordinates.
+
+    Wraps any exception escaping a trial function (e.g. ``page_up_pair``'s
+    ``RuntimeError: page failed``) with the ``(sweep_index, point_index,
+    trial_index, seed)`` of the task that raised it, so the failure is
+    replayable in isolation with one call: ``trial_fn(x, seed)`` at the
+    quoted seed.  The cause is carried as its ``repr`` (picklable across
+    worker-process boundaries even when the original exception is not).
+    """
+
+    def __init__(self, sweep_index: int, point_index: int, trial_index: int,
+                 seed: int, cause_repr: str):
+        self.sweep_index = sweep_index
+        self.point_index = point_index
+        self.trial_index = trial_index
+        self.seed = seed
+        self.cause_repr = cause_repr
+        super().__init__(
+            f"trial (sweep {sweep_index}, point {point_index}, trial "
+            f"{trial_index}) raised {cause_repr}; replay with "
+            f"trial_fn(x, seed={seed:#018x})")
+
+    @property
+    def key(self) -> tuple:
+        """The task's journal key, ``(sweep, point, trial, seed)``."""
+        return (self.sweep_index, self.point_index, self.trial_index,
+                self.seed)
+
+    def __reduce__(self):
+        return (type(self), (self.sweep_index, self.point_index,
+                             self.trial_index, self.seed, self.cause_repr))
+
+
 @dataclass
 class MonteCarlo:
     """Runs ``trial_fn(seed) -> TrialOutcome`` over derived seeds.

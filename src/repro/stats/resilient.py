@@ -1,0 +1,385 @@
+"""Fault-tolerant execution: a process-pool backend that survives faults.
+
+:class:`ResilientExecutor` is a drop-in :class:`~repro.stats.executor.Executor`
+with the same determinism contract as the plain backends — same ordered
+result list at any job count — plus the robustness a long campaign needs:
+
+* **Worker death** (``BrokenProcessPool`` — OOM kill, segfault, chaos
+  crash): the pool is rebuilt and every unfinished chunk is re-leased,
+  up to ``max_pool_rebuilds`` times; past the budget the journal is
+  checkpointed and the error propagates, so a resumed run loses at most
+  the chunks that were in flight.
+* **Stragglers / hangs**: each chunk lease carries a deadline
+  (``chunk_timeout_s``); an overdue chunk is re-dispatched to another
+  worker.  First completion wins — duplicates are byte-identical because
+  trials are pure functions of their seeds, so re-dispatch is free.
+* **Transient trial failures** (:class:`~repro.stats.chaos.ChaosError`,
+  or any exception escaping a trial): bounded retry with exponential
+  backoff; on exhaustion the failure surfaces as a
+  :class:`~repro.stats.montecarlo.TrialExecutionError` carrying the
+  ``(sweep, point, trial, seed)`` replay coordinates, after a warning
+  that quotes the replay seed.
+* **Interrupts** (Ctrl-C): the in-memory journal is flushed to its last
+  consistent checkpoint and the pool is shut down with
+  ``cancel_futures`` before the ``KeyboardInterrupt`` propagates — a
+  killed campaign resumes from the journal with no recompute beyond the
+  in-flight chunks.
+
+Results are journalled in **completion order** (not submission order)
+through :meth:`map_keyed`'s ``journal``, so a kill never discards an
+out-of-order chunk that already finished.  Progress is journal-backed:
+``on_progress`` receives ``{completed, total, cached, retries,
+redispatches, pool_rebuilds, last_checkpoint}`` after every chunk — the
+same dict kept on :attr:`last_progress`.
+
+Deterministic fault injection for testing all of the above lives in
+:mod:`repro.stats.chaos` (``REPRO_CHAOS``).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import tempfile
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional, Sequence
+
+from repro.stats.chaos import ChaosConfig, ChaosError, maybe_inject
+from repro.stats.executor import _CHUNKS_PER_JOB, ParallelExecutor
+from repro.stats.montecarlo import TrialExecutionError
+from repro.stats.store import ResultStore
+
+
+def _resilient_chunk(fn: Callable[[Any], Any], chunk: list, keys: list,
+                     chaos: Optional[ChaosConfig]) -> list:
+    """Worker-side chunk body: chaos injection + coordinate-tagged errors.
+
+    Injection happens *before* the trial function runs, so trial outcomes
+    are never perturbed — a completed chaos campaign stays byte-identical
+    to a clean one.  Any exception escaping the trial is wrapped with its
+    journal key so the parent can quote the replay seed.
+    """
+    results = []
+    for item, key in zip(chunk, keys):
+        maybe_inject(chaos, key[3])
+        try:
+            results.append(fn(item))
+        except (TrialExecutionError, ChaosError, KeyboardInterrupt,
+                SystemExit):
+            raise
+        except Exception as error:
+            raise TrialExecutionError(key[0], key[1], key[2], key[3],
+                                      repr(error)) from error
+    return results
+
+
+class _ChunkLease:
+    """One dispatched chunk: its item indices, retry state and deadline."""
+
+    __slots__ = ("indices", "items", "keys", "attempts", "deadline",
+                 "retry_at", "done")
+
+    def __init__(self, indices: list, items: list, keys: list):
+        self.indices = indices
+        self.items = items
+        self.keys = keys
+        self.attempts = 0       # failed attempts so far
+        self.deadline = None    # monotonic re-dispatch deadline
+        self.retry_at = None    # monotonic backoff gate (failed leases)
+        self.done = False
+
+
+class ResilientExecutor(ParallelExecutor):
+    """Process-pool executor with worker-death recovery, chunk timeouts,
+    bounded retry and journal-backed resume.  See the module docstring.
+
+    Parameters beyond :class:`~repro.stats.executor.ParallelExecutor`:
+
+    ``journal``
+        default :class:`~repro.stats.store.ResultStore` for :meth:`map` /
+        :meth:`map_keyed`; completed chunks are recorded and fsynced as
+        they arrive, already-journalled keys are never recomputed.
+    ``chaos``
+        fault-injection schedule (default: parsed from ``REPRO_CHAOS``).
+        A crash schedule without a ledger directory would re-kill forever,
+        so one is allocated automatically when missing.
+    ``chunk_timeout_s``
+        straggler deadline per chunk lease; ``None`` disables re-dispatch.
+    ``max_retries``
+        failed attempts tolerated per chunk before the error surfaces.
+    ``backoff_base_s``
+        exponential backoff base between retry attempts.
+    ``max_pool_rebuilds``
+        worker-pool deaths tolerated per ``map`` before giving up (the
+        journal is checkpointed first either way).
+    ``on_progress``
+        callback receiving the journal-backed progress dict after every
+        completed chunk.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None, *,
+                 journal: Optional[ResultStore] = None,
+                 chaos: Optional[ChaosConfig] = None,
+                 chunk_timeout_s: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_base_s: float = 0.25,
+                 max_pool_rebuilds: int = 4,
+                 on_progress: Optional[Callable[[dict], None]] = None):
+        super().__init__(jobs=jobs, chunk_size=chunk_size)
+        if chaos is None:
+            chaos = ChaosConfig.from_env()
+        if (chaos is not None and chaos.state_dir is None
+                and (chaos.crash > 0 or chaos.hang > 0 or chaos.exc > 0)):
+            # a durable fire-once ledger, not just crash insurance: retried
+            # chunks migrate between forked workers, and a process-local
+            # ledger would re-fire the same fault in each fresh worker
+            chaos = chaos.with_state_dir(
+                tempfile.mkdtemp(prefix="repro-chaos-"))
+        self.journal = journal
+        self.chaos = chaos
+        self.chunk_timeout_s = chunk_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.on_progress = on_progress
+        #: journal-backed progress of the most recent ``map`` (see module
+        #: docstring); None before one ran.
+        self.last_progress: Optional[dict] = None
+
+    # -- public entry points ---------------------------------------------
+
+    def map(self, fn, items, progress=None) -> list:
+        """Ordered map with synthetic journal keys ``(0, 0, i, seed)``.
+
+        ``seed`` is the item itself when it is an integer (the common
+        seed-list case), else the index — enough for chaos scheduling and
+        single-campaign journals.  Prefer :meth:`map_keyed` with real
+        ``(sweep, point, trial, seed)`` coordinates for campaign grids.
+        """
+        items = list(items)
+        keys = [(0, 0, index, item if isinstance(item, int) else index)
+                for index, item in enumerate(items)]
+        return self.map_keyed(fn, items, keys, progress=progress)
+
+    def map_keyed(self, fn, items: Sequence, keys: Sequence,
+                  progress=None, journal: Optional[ResultStore] = None
+                  ) -> list:
+        """Ordered map over keyed tasks with journal resume + recovery.
+
+        ``keys[i]`` is ``items[i]``'s ``(sweep, point, trial, seed)``
+        journal address; results already journalled are returned without
+        recompute.  Fresh completions are recorded and checkpointed chunk
+        by chunk in completion order.
+        """
+        items = list(items)
+        keys = [tuple(key) for key in keys]
+        if len(items) != len(keys):
+            raise ValueError(f"{len(items)} items but {len(keys)} keys")
+        if journal is None:
+            journal = self.journal
+
+        total = len(items)
+        results: list = [None] * total
+        have: set = set()
+        cached = 0
+        if journal is not None:
+            for index, key in enumerate(keys):
+                hit = journal.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    have.add(index)
+                    cached += 1
+        pending = [index for index in range(total) if index not in have]
+
+        counters = {"retries": 0, "redispatches": 0, "pool_rebuilds": 0}
+        next_emit = 0
+
+        def _advance_progress() -> None:
+            nonlocal next_emit
+            while next_emit < total and next_emit in have:
+                if progress is not None:
+                    progress(next_emit, results[next_emit])
+                next_emit += 1
+
+        def _note_progress() -> None:
+            self.last_progress = {
+                "completed": len(have),
+                "total": total,
+                "cached": cached,
+                "retries": counters["retries"],
+                "redispatches": counters["redispatches"],
+                "pool_rebuilds": counters["pool_rebuilds"],
+                "last_checkpoint":
+                    journal.last_checkpoint if journal is not None else None,
+            }
+            if self.on_progress is not None:
+                self.on_progress(dict(self.last_progress))
+
+        _advance_progress()
+        if cached:
+            _note_progress()  # surface "resumed at cached/total" up front
+        if not pending:
+            return results
+
+        parallel = self.jobs > 1 and len(pending) > 1
+        if parallel:
+            try:
+                pickle.dumps(fn)
+            except Exception:
+                warnings.warn(
+                    f"{fn!r} is not picklable; ResilientExecutor falling "
+                    "back to the sequential path", RuntimeWarning,
+                    stacklevel=2)
+                parallel = False
+
+        if not parallel:
+            try:
+                for index in pending:
+                    results[index] = fn(items[index])
+                    have.add(index)
+                    if journal is not None:
+                        journal.record(keys[index], results[index])
+                        journal.flush()
+                    _advance_progress()
+                    _note_progress()
+            except KeyboardInterrupt:
+                if journal is not None:
+                    journal.flush()
+                raise
+            return results
+
+        # -- parallel path ------------------------------------------------
+        jobs = min(self.jobs, len(pending))
+        size = self.chunk_size or max(
+            1, math.ceil(len(pending) / (jobs * _CHUNKS_PER_JOB)))
+        leases = [
+            _ChunkLease(indices=pending[lo:lo + size],
+                        items=[items[i] for i in pending[lo:lo + size]],
+                        keys=[keys[i] for i in pending[lo:lo + size]])
+            for lo in range(0, len(pending), size)
+        ]
+        remaining = len(leases)
+        future_map: dict = {}
+
+        def _submit(lease: _ChunkLease) -> None:
+            lease.retry_at = None
+            if self.chunk_timeout_s is not None:
+                lease.deadline = time.monotonic() + self.chunk_timeout_s
+            future = self._ensure_pool().submit(
+                _resilient_chunk, fn, lease.items, lease.keys, self.chaos)
+            future_map[future] = lease
+
+        def _complete(lease: _ChunkLease, payload: list) -> None:
+            nonlocal remaining
+            lease.done = True
+            remaining -= 1
+            for key, index, result in zip(lease.keys, lease.indices,
+                                          payload):
+                results[index] = result
+                have.add(index)
+                if journal is not None:
+                    journal.record(key, result)
+            if journal is not None:
+                journal.flush()  # the checkpoint: this chunk is durable
+            _advance_progress()
+            _note_progress()
+
+        def _fail(lease: _ChunkLease, error: BaseException) -> None:
+            lease.attempts += 1
+            if lease.attempts > self.max_retries:
+                if isinstance(error, TrialExecutionError):
+                    warnings.warn(
+                        f"chunk failed {lease.attempts} times; giving up — "
+                        f"replay the failing trial with seed "
+                        f"{error.seed:#018x}", RuntimeWarning, stacklevel=3)
+                self._checkpoint_and_abort(journal)
+                raise error
+            counters["retries"] += 1
+            lease.retry_at = time.monotonic() + \
+                self.backoff_base_s * (2 ** (lease.attempts - 1))
+
+        def _rebuild_pool() -> None:
+            counters["pool_rebuilds"] += 1
+            if counters["pool_rebuilds"] > self.max_pool_rebuilds:
+                self._checkpoint_and_abort(journal)
+                raise BrokenProcessPool(
+                    f"worker pool died {counters['pool_rebuilds']} times "
+                    f"(budget {self.max_pool_rebuilds}); journal "
+                    "checkpointed — rerun to resume from it")
+            self._abort_pool()
+            future_map.clear()  # every outstanding future died with the pool
+            for lease in leases:
+                if not lease.done and lease.retry_at is None:
+                    _submit(lease)
+
+        try:
+            for lease in leases:
+                _submit(lease)
+            while remaining:
+                if future_map:
+                    done_set, _ = wait(list(future_map), timeout=0.05,
+                                       return_when=FIRST_COMPLETED)
+                else:
+                    done_set = set()
+                    time.sleep(0.005)
+                now = time.monotonic()
+                broken = False
+                for future in done_set:
+                    lease = future_map.pop(future)
+                    if lease.done:
+                        continue  # a duplicate already won this lease
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                    except Exception as error:
+                        _fail(lease, error)
+                    else:
+                        _complete(lease, payload)
+                if broken:
+                    _rebuild_pool()
+                    continue
+                now = time.monotonic()
+                for lease in leases:
+                    if lease.done:
+                        continue
+                    if lease.retry_at is not None and now >= lease.retry_at:
+                        _submit(lease)
+                    elif (lease.deadline is not None
+                          and lease.retry_at is None
+                          and now >= lease.deadline):
+                        # straggler: re-lease to another worker; first
+                        # completion wins, the loser is discarded
+                        lease.attempts += 1
+                        if lease.attempts > self.max_retries:
+                            self._checkpoint_and_abort(journal)
+                            raise TimeoutError(
+                                f"chunk over its {self.chunk_timeout_s}s "
+                                f"deadline {lease.attempts} times; journal "
+                                "checkpointed — rerun to resume")
+                        counters["redispatches"] += 1
+                        _submit(lease)
+        except KeyboardInterrupt:
+            self._checkpoint_and_abort(journal)
+            raise
+        return results
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _abort_pool(self) -> None:
+        """Drop the pool without waiting: cancel queued work, leave no
+        reference behind so the next submit builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _checkpoint_and_abort(self, journal: Optional[ResultStore]) -> None:
+        """The clean-kill path: make the journal durable, then drop the
+        pool so nothing keeps computing results nobody will collect."""
+        if journal is not None:
+            journal.flush()
+        self._abort_pool()

@@ -1,0 +1,245 @@
+"""Seed-addressed, append-only on-disk result journal for campaigns.
+
+Every trial in this codebase is a pure function of its derived seed, so a
+completed trial never needs to run twice: journal its outcome under its
+``(sweep_index, point_index, trial_index, seed)`` coordinates and any
+restart of the same campaign can skip it.  This module supplies that
+journal — the robustness core the distributed sweep fabric builds on.
+
+Format: one JSONL file per campaign.  The first line is a header binding
+the journal to a **campaign spec digest** (master seeds, trial counts, x
+grids, trial-function names — see :func:`campaign_digest`); re-opening
+with a different digest is refused, so a journal can never silently feed
+results into the wrong campaign.  Every further line is one completed
+trial: its key plus the pickled :class:`~repro.stats.montecarlo.TrialOutcome`
+(base64).  Appends are whole-line writes flushed per record; a process
+killed mid-write can therefore leave at most one truncated final line,
+which :class:`ResultStore` tolerates (dropped with a warning and cut off
+so the next append starts clean).  Any other malformed line is corruption
+and is refused loudly.
+
+:func:`map_with_store` is the executor-agnostic resume bridge: filter a
+task list against the journal, run only the gap, record fresh results as
+they arrive, and return the full ordered result list —
+``repro.stats.sweep.run_flattened`` and ``experiments.common.map_points``
+both go through it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import warnings
+from typing import Any, Callable, Optional, Sequence
+
+#: Environment knob: journal campaign results under this directory and
+#: resume from any journal already there.
+RESUME_DIR_ENV_VAR = "REPRO_RESUME_DIR"
+
+#: Journal format version (header field; bumped on layout changes).
+STORE_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Base class of result-journal failures."""
+
+
+class SpecMismatchError(StoreError):
+    """The journal on disk belongs to a different campaign spec."""
+
+
+class CorruptJournalError(StoreError):
+    """The journal has a malformed line that is not a truncated tail."""
+
+
+def campaign_digest(spec: Any) -> str:
+    """Stable hex digest of a JSON-serialisable campaign spec.
+
+    Canonical JSON (sorted keys, no whitespace) through SHA-256, truncated
+    to 16 hex chars — collision-safe for the "am I resuming the campaign I
+    think I am" check, and short enough to quote in filenames and logs.
+    """
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"),
+                           default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultStore:
+    """Append-only journal of completed trial outcomes, keyed by
+    ``(sweep_index, point_index, trial_index, seed)``.
+
+    Opening an existing journal replays it into memory (refusing a spec
+    digest mismatch, tolerating a truncated last line); opening a fresh
+    path writes the header.  :meth:`record` appends one outcome per key —
+    duplicate keys keep the first record, which is safe because trials are
+    deterministic.  :meth:`flush` is the checkpoint: it fsyncs, so
+    everything recorded before it survives a kill.
+    """
+
+    def __init__(self, path: str, spec_digest: str,
+                 meta: Optional[dict] = None):
+        self.path = path
+        self.spec_digest = spec_digest
+        self._results: dict = {}
+        #: wall-clock time of the last fsync checkpoint (None before one).
+        self.last_checkpoint: Optional[float] = None
+        #: records appended by this process (excludes replayed ones).
+        self.appended = 0
+        self._load_or_create(meta or {})
+        self._stream = open(self.path, "a", encoding="utf-8")
+
+    # -- construction ----------------------------------------------------
+
+    def _load_or_create(self, meta: dict) -> None:
+        if not os.path.exists(self.path):
+            header = {"kind": "header", "version": STORE_VERSION,
+                      "spec_digest": self.spec_digest, **meta}
+            with open(self.path, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(header, sort_keys=True) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            return
+        with open(self.path, "rb") as stream:
+            raw = stream.read()
+        lines = raw.split(b"\n")
+        tail = lines.pop()  # content after the final newline
+        if not lines or not lines[0]:
+            raise CorruptJournalError(f"{self.path}: missing journal header")
+        header = self._parse_line(lines[0], line_number=1)
+        if header.get("kind") != "header" \
+                or header.get("version") != STORE_VERSION:
+            raise CorruptJournalError(
+                f"{self.path}: unrecognised journal header {header!r}")
+        if header.get("spec_digest") != self.spec_digest:
+            raise SpecMismatchError(
+                f"{self.path}: journal belongs to campaign spec "
+                f"{header.get('spec_digest')!r}, not {self.spec_digest!r} — "
+                "refusing to resume; point REPRO_RESUME_DIR elsewhere or "
+                "remove the stale journal")
+        for number, line in enumerate(lines[1:], start=2):
+            if not line:
+                continue
+            record = self._parse_line(line, line_number=number)
+            key = tuple(record["k"])
+            if key in self._results:
+                continue  # deterministic duplicates: first record wins
+            self._results[key] = pickle.loads(base64.b64decode(record["v"]))
+        if tail:
+            # a kill mid-append: drop the partial line and cut the file
+            # back to the last complete record so appends start clean
+            warnings.warn(
+                f"{self.path}: dropping truncated final journal line "
+                f"({len(tail)} bytes) — the interrupted trial will be "
+                "recomputed", RuntimeWarning, stacklevel=3)
+            with open(self.path, "r+b") as stream:
+                stream.truncate(len(raw) - len(tail))
+
+    def _parse_line(self, line: bytes, line_number: int) -> dict:
+        try:
+            parsed = json.loads(line)
+            if not isinstance(parsed, dict):
+                raise ValueError("journal lines are JSON objects")
+            return parsed
+        except ValueError as error:
+            raise CorruptJournalError(
+                f"{self.path}:{line_number}: malformed journal line "
+                f"({error}); a truncated *final* line would have been "
+                "tolerated — this journal is corrupt") from error
+
+    # -- journalling -----------------------------------------------------
+
+    def record(self, key: Sequence[int], outcome: Any) -> bool:
+        """Append one completed outcome; False if the key is already
+        journalled (the duplicate is discarded — outcomes are
+        deterministic, so it is byte-identical anyway)."""
+        key = tuple(key)
+        if key in self._results:
+            return False
+        payload = base64.b64encode(
+            pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+        line = json.dumps({"k": list(key), "v": payload.decode("ascii")},
+                          separators=(",", ":"))
+        self._stream.write(line + "\n")
+        self._stream.flush()  # whole line reaches the OS buffer
+        self._results[key] = outcome
+        self.appended += 1
+        return True
+
+    def flush(self) -> None:
+        """Checkpoint: fsync everything recorded so far."""
+        if self._stream.closed:
+            return
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self.last_checkpoint = time.time()
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, key: Sequence[int]) -> Optional[Any]:
+        """The journalled outcome of ``key``, or None."""
+        return self._results.get(tuple(key))
+
+    def __contains__(self, key) -> bool:
+        return tuple(key) in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def keys(self):
+        """The journalled task keys (completion set of the campaign)."""
+        return self._results.keys()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self.flush()
+            self._stream.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def map_with_store(executor, fn: Callable, items: Sequence,
+                   keys: Sequence, store: ResultStore) -> list:
+    """``executor.map(fn, items)`` minus the items ``store`` already holds.
+
+    ``keys[i]`` addresses ``items[i]`` in the journal.  Journalled results
+    are returned without recompute; the remaining gap is dispatched in one
+    executor call, with every fresh result recorded (and checkpointed) as
+    it completes — through the executor's own journal hook when it has one
+    (:class:`~repro.stats.resilient.ResilientExecutor.map_keyed`, which
+    records in *completion* order, so out-of-order chunks survive a kill),
+    falling back to the ordered ``progress`` callback otherwise.  Returns
+    the full ordered result list either way.
+    """
+    cached = {}
+    for index, key in enumerate(keys):
+        hit = store.get(key)
+        if hit is not None:
+            cached[index] = hit
+    pending = [index for index in range(len(items)) if index not in cached]
+    if not pending:
+        return [cached[index] for index in range(len(items))]
+    pending_items = [items[index] for index in pending]
+    pending_keys = [keys[index] for index in pending]
+    map_keyed = getattr(executor, "map_keyed", None)
+    if map_keyed is not None:
+        fresh = map_keyed(fn, pending_items, pending_keys, journal=store)
+    else:
+        def _record(position: int, result) -> None:
+            store.record(pending_keys[position], result)
+            store.flush()
+
+        fresh = executor.map(fn, pending_items, progress=_record)
+    results = list(cached.get(index) for index in range(len(items)))
+    for position, index in enumerate(pending):
+        results[index] = fresh[position]
+    return results

@@ -30,7 +30,13 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.stats.estimators import MeanEstimate, ProportionEstimate, mean_with_ci, wilson_interval
 from repro.stats.executor import Executor, SequentialExecutor
-from repro.stats.montecarlo import MonteCarlo, TrialOutcome, derive_seed
+from repro.stats.montecarlo import (
+    MonteCarlo,
+    TrialExecutionError,
+    TrialOutcome,
+    derive_seed,
+)
+from repro.stats.store import ResultStore, map_with_store
 
 #: Stream tag separating per-point master seeds from trial seeds.
 SWEEP_POINT_STREAM = 0x53574545  # "SWEE"
@@ -59,17 +65,30 @@ class _PointTrial:
 class _FlatTrial:
     """Picklable dispatcher for one flattened (sweep, point, trial) task.
 
-    Tasks are ``(sweep_index, point_index, seed)`` triples; the dispatcher
-    carries each sweep's trial function and x values, so a worker process
-    can evaluate any task of any sweep in the queue.
+    Tasks are ``(sweep_index, point_index, trial_index, seed)`` tuples —
+    exactly the journal keys of :class:`~repro.stats.store.ResultStore` —
+    and the dispatcher carries each sweep's trial function and x values,
+    so a worker process can evaluate any task of any sweep in the queue.
+
+    Any exception escaping the trial function is re-raised as a
+    :class:`~repro.stats.montecarlo.TrialExecutionError` carrying the
+    task's coordinates, so a failure anywhere in a million-trial campaign
+    is replayable with one call at the quoted seed.
     """
 
     trial_fns: list
     xs: list
 
     def __call__(self, task) -> TrialOutcome:
-        sweep_index, point_index, seed = task
-        return self.trial_fns[sweep_index](self.xs[sweep_index][point_index], seed)
+        sweep_index, point_index, trial_index, seed = task
+        try:
+            return self.trial_fns[sweep_index](
+                self.xs[sweep_index][point_index], seed)
+        except (TrialExecutionError, KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            raise TrialExecutionError(sweep_index, point_index, trial_index,
+                                      seed, repr(error)) from error
 
 
 @dataclass
@@ -121,18 +140,28 @@ class Sweep:
     def run(self, xs: list[tuple[float, str]],
             trial_fn: Callable[[float, int], TrialOutcome],
             executor: Optional[Executor] = None,
-            dispatch: str = "flat") -> list[SweepPoint]:
+            dispatch: str = "flat",
+            store: Optional[ResultStore] = None) -> list[SweepPoint]:
         """Run the sweep; ``xs`` is a list of (value, label) pairs.
 
         ``executor`` fans trials out over worker processes; results are
         independent of the job count *and* of ``dispatch`` (see module
         docstring) — ``"flat"`` merely removes the per-point join barrier.
+
+        ``store`` resumes from (and journals into) an on-disk result
+        journal: already-completed (point, trial) tasks are skipped and a
+        killed run restarts where it stopped, byte-identical to a clean
+        one.  Journalling rides on the flattened task queue only.
         """
         if dispatch == "flat":
-            self.points = run_flattened([(self, xs, trial_fn)], executor)[0]
+            self.points = run_flattened([(self, xs, trial_fn)], executor,
+                                        store=store)[0]
             return self.points
         if dispatch != "per_point":
             raise ValueError(f"unknown dispatch mode: {dispatch!r}")
+        if store is not None:
+            raise ValueError(
+                "result journalling requires the flattened dispatch mode")
         self.points.clear()
         for point_index, (x, label) in enumerate(xs):
             mc = self.point_monte_carlo(point_index)
@@ -143,7 +172,16 @@ class Sweep:
 
 def _aggregate_point(x: float, label: str,
                      outcomes: list[TrialOutcome]) -> SweepPoint:
-    """Fold one point's ordered outcome list into its aggregates."""
+    """Fold one point's ordered outcome list into its aggregates.
+
+    A point with **zero successful trials** (every page failed under
+    interference, say) is a legitimate campaign result, not an error: the
+    conditional mean degrades to the flagged-NaN estimate
+    (``mean_with_ci([])`` — NaN mean, NaN half-width, ``n=0``, rendered
+    ``±?`` by ``ci_cell``) while the success proportion stays a proper
+    Wilson interval at 0/n.  Regression-tested in
+    ``tests/stats/test_stats.py::TestSweep``.
+    """
     successes = sum(1 for o in outcomes if o.success)
     return SweepPoint(
         x=x,
@@ -154,9 +192,71 @@ def _aggregate_point(x: float, label: str,
     )
 
 
+def flat_tasks(
+    sweeps: Sequence[tuple["Sweep", list[tuple[float, str]], Callable]],
+) -> tuple[list[tuple[int, int, int, int]], list[list[tuple[int, int]]]]:
+    """The flattened ``(sweep, point, trial, seed)`` task queue of
+    ``sweeps`` plus the per-sweep, per-point (lo, hi) result slices.
+
+    Tasks double as the journal keys of
+    :class:`~repro.stats.store.ResultStore` — derived up front, so a
+    resumed campaign addresses exactly the tasks the killed one did.
+    """
+    tasks: list[tuple[int, int, int, int]] = []
+    slices: list[list[tuple[int, int]]] = []  # per sweep: per point (lo, hi)
+    for sweep_index, (sweep, xs, _trial_fn) in enumerate(sweeps):
+        point_slices = []
+        for point_index in range(len(xs)):
+            mc = sweep.point_monte_carlo(point_index)
+            lo = len(tasks)
+            tasks.extend(
+                (sweep_index, point_index, trial, mc.seed_for(trial))
+                for trial in range(mc.trials))
+            point_slices.append((lo, len(tasks)))
+        slices.append(point_slices)
+    return tasks, slices
+
+
+def callable_name(fn: Callable) -> str:
+    """``module.qualname`` of a trial callable — falling back to its class
+    for callable *instances* (picklable trial wrappers), which carry no
+    ``__qualname__`` of their own."""
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is not None:
+        return f"{fn.__module__}.{qualname}"
+    return f"{type(fn).__module__}.{type(fn).__qualname__}"
+
+
+def campaign_spec(
+    sweeps: Sequence[tuple["Sweep", list[tuple[float, str]], Callable]],
+) -> dict:
+    """The JSON-serialisable identity of a flattened campaign.
+
+    Everything that determines the task queue and its outcomes: per sweep,
+    the master seed, trial count, seed formula, x grid and trial-function
+    name.  :func:`~repro.stats.store.campaign_digest` of this dict is the
+    binding a result journal's header carries — change any of it and a
+    stale journal is refused instead of silently mixing campaigns.
+    """
+    return {
+        "version": 1,
+        "sweeps": [
+            {
+                "master_seed": sweep.master_seed,
+                "trials_per_point": sweep.trials_per_point,
+                "legacy_seeds": sweep.legacy_seeds,
+                "xs": [[float(x), str(label)] for x, label in xs],
+                "trial_fn": callable_name(trial_fn),
+            }
+            for sweep, xs, trial_fn in sweeps
+        ],
+    }
+
+
 def run_flattened(
     sweeps: Sequence[tuple["Sweep", list[tuple[float, str]], Callable]],
     executor: Optional[Executor] = None,
+    store: Optional[ResultStore] = None,
 ) -> list[list[SweepPoint]]:
     """Run several sweeps as **one flattened work queue**.
 
@@ -167,26 +267,25 @@ def run_flattened(
     per-point :class:`SweepPoint` aggregates — so no per-point (or
     per-sweep) join barrier exists anywhere in the run.
 
+    ``store`` is the resume path: tasks whose keys the journal already
+    holds are served from it without recompute, and every fresh outcome
+    is journalled as it completes, so a campaign killed at any moment
+    restarts from its last checkpoint (see :mod:`repro.stats.store`).
+
     Returns one ``list[SweepPoint]`` per input sweep, byte-identical to
-    running each sweep in ``"per_point"`` mode.
+    running each sweep in ``"per_point"`` mode — with or without a store,
+    at any job count.
     """
     if executor is None:
         executor = SequentialExecutor()
-    tasks: list[tuple[int, int, int]] = []
-    slices: list[list[tuple[int, int]]] = []  # per sweep: per point (lo, hi)
-    for sweep_index, (sweep, xs, _trial_fn) in enumerate(sweeps):
-        point_slices = []
-        for point_index in range(len(xs)):
-            mc = sweep.point_monte_carlo(point_index)
-            lo = len(tasks)
-            tasks.extend((sweep_index, point_index, mc.seed_for(trial))
-                         for trial in range(mc.trials))
-            point_slices.append((lo, len(tasks)))
-        slices.append(point_slices)
+    tasks, slices = flat_tasks(sweeps)
 
     flat_fn = _FlatTrial(trial_fns=[fn for _, _, fn in sweeps],
                          xs=[[x for x, _ in xs] for _, xs, _ in sweeps])
-    outcomes = executor.map(flat_fn, tasks)
+    if store is None:
+        outcomes = executor.map(flat_fn, tasks)
+    else:
+        outcomes = map_with_store(executor, flat_fn, tasks, tasks, store)
 
     results: list[list[SweepPoint]] = []
     for (sweep, xs, _trial_fn), point_slices in zip(sweeps, slices):

@@ -58,6 +58,23 @@ class TestRecovery:
         assert clean[2] == pytest.approx(clean[1], rel=0.02)
         assert clean[5] == 79  # full hop set retained
 
+    def test_all_failed_baseline_yields_nan_recovery(self, tiny_campaign,
+                                                     monkeypatch):
+        """Regression (zero-successful-trials): with no baseline to divide
+        by, the recovery column must surface NaN, not crash or a number."""
+        import math
+
+        from repro.stats.montecarlo import TrialOutcome
+
+        def all_fail(x, seed):
+            return TrialOutcome(seed=seed, success=False, value=0.0,
+                                extra=(0.0, 0))
+
+        monkeypatch.setattr(ext_afh, "run_trial", all_fail)
+        result = ext_afh.run(trials=2, seed=5, jobs=1)
+        assert [row[-1] for row in result.rows] == ["0/2", "0/2"]
+        assert all(math.isnan(row[4]) for row in result.rows)
+
 
 class TestJammerOff:
     """The jammer-turns-off phase: probing re-admission wins the hop set

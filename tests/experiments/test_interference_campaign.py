@@ -75,3 +75,23 @@ class TestMeasuredLoss:
         assert per_column[0] == pytest.approx(0.0, abs=2.0)
         assert per_column[1] > per_column[0], \
             "interfered point must show measured (non-zero) packet loss"
+
+    def test_all_failed_baseline_yields_nan_loss_not_poison(
+            self, tiny_campaign, monkeypatch):
+        # regression: with zero successful trials the baseline point's
+        # conditional mean is the flagged NaN — and NaN is *truthy*, so a
+        # bare ``if baseline`` guard would divide by it and quietly poison
+        # the loss column; the row must show NaN explicitly instead
+        import math
+
+        from repro.stats.montecarlo import TrialOutcome
+
+        def all_fail(x, seed):
+            return TrialOutcome(seed=seed, success=False, value=0.0,
+                                extra=(0.0, 0, 0, 0))
+
+        monkeypatch.setattr(ext_interference, "run_trial", all_fail)
+        result = ext_interference.run(trials=2, seed=5, jobs=1)
+        assert [row[-1] for row in result.rows] == ["0/2", "0/2"]
+        assert all(math.isnan(row[3]) for row in result.rows), \
+            "loss vs a NaN baseline must surface as NaN, not a number"

@@ -1,0 +1,116 @@
+"""Fault-injection harness tests: schedule determinism and fire-once.
+
+The chaos layer is only a trustworthy test harness if it is itself
+deterministic: same chaos seed, same fault placement, on any host — and
+every fault fires exactly once, so recovery always makes forward
+progress.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.stats.chaos import (
+    CHAOS_ENV_VAR,
+    ChaosConfig,
+    ChaosError,
+    maybe_inject,
+)
+
+
+class TestFromEnv:
+    def test_unset_or_blank_disables_chaos(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        assert ChaosConfig.from_env() is None
+        monkeypatch.setenv(CHAOS_ENV_VAR, "   ")
+        assert ChaosConfig.from_env() is None
+        assert ChaosConfig.from_env("") is None
+
+    def test_parses_all_keys(self):
+        config = ChaosConfig.from_env(
+            "seed=0x2a, crash=0.05, hang=0.1, exc=0.2, hang_s=1.5, state=/tmp/x")
+        assert config == ChaosConfig(seed=42, crash=0.05, hang=0.1, exc=0.2,
+                                     hang_s=1.5, state_dir="/tmp/x")
+
+    def test_unknown_key_rejected_loudly(self):
+        # a typo silently disabling chaos would defeat the harness
+        with pytest.raises(ValueError, match="unknown"):
+            ChaosConfig.from_env("seed=1,crsh=0.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ChaosConfig.from_env("crash")
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="sum to <= 1"):
+            ChaosConfig(crash=0.6, hang=0.6)
+        with pytest.raises(ValueError):
+            ChaosConfig(exc=-0.1)
+
+
+class TestSchedule:
+    SEEDS = [0x1000 + index * 7 for index in range(400)]
+
+    def test_same_seed_same_schedule(self):
+        a = ChaosConfig(seed=7, crash=0.05, hang=0.05, exc=0.1)
+        b = ChaosConfig(seed=7, crash=0.05, hang=0.05, exc=0.1)
+        assert a.schedule(self.SEEDS) == b.schedule(self.SEEDS)
+        assert a.schedule(self.SEEDS)  # non-empty at these rates
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosConfig(seed=7, crash=0.05, hang=0.05, exc=0.1)
+        b = ChaosConfig(seed=8, crash=0.05, hang=0.05, exc=0.1)
+        assert a.schedule(self.SEEDS) != b.schedule(self.SEEDS)
+
+    def test_rates_roughly_respected(self):
+        config = ChaosConfig(seed=3, exc=0.25)
+        plan = config.schedule(self.SEEDS)
+        assert set(plan.values()) == {"exc"}
+        assert 0.15 < len(plan) / len(self.SEEDS) < 0.35
+
+    def test_zero_rates_schedule_nothing(self):
+        assert ChaosConfig(seed=3).schedule(self.SEEDS) == {}
+
+    def test_fault_for_is_pure(self):
+        config = ChaosConfig(seed=11, crash=0.3, hang=0.3, exc=0.3)
+        for seed in self.SEEDS[:50]:
+            assert config.fault_for(seed) == config.fault_for(seed)
+
+
+class TestFireOnce:
+    def test_exc_fires_once_per_ledger_dir(self, tmp_path):
+        config = ChaosConfig(seed=1, exc=1.0, state_dir=str(tmp_path))
+        with pytest.raises(ChaosError, match="injected"):
+            maybe_inject(config, 23)
+        # second attempt (any config instance sharing the ledger) is clean
+        again = ChaosConfig(seed=1, exc=1.0, state_dir=str(tmp_path))
+        maybe_inject(again, 23)
+        # a different trial seed still has its own fault to fire
+        with pytest.raises(ChaosError):
+            maybe_inject(config, 24)
+
+    def test_process_local_ledger_without_state_dir(self):
+        config = ChaosConfig(seed=2, exc=1.0)
+        with pytest.raises(ChaosError):
+            maybe_inject(config, 55)
+        maybe_inject(config, 55)  # fired already
+
+    def test_hang_stalls_then_returns(self, tmp_path):
+        config = ChaosConfig(seed=1, hang=1.0, hang_s=0.05,
+                             state_dir=str(tmp_path))
+        start = time.monotonic()
+        maybe_inject(config, 7)
+        assert time.monotonic() - start >= 0.05
+        start = time.monotonic()
+        maybe_inject(config, 7)  # fire-once: no second stall
+        assert time.monotonic() - start < 0.05
+
+    def test_none_config_is_inert(self):
+        maybe_inject(None, 1)
+
+    def test_error_quotes_replay_seed(self, tmp_path):
+        config = ChaosConfig(seed=9, exc=1.0, state_dir=str(tmp_path))
+        with pytest.raises(ChaosError, match="0x000000000000002a"):
+            maybe_inject(config, 42)

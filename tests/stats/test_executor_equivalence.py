@@ -103,6 +103,19 @@ class TestExecutorContract:
         assert isinstance(executor, ParallelExecutor)
         assert executor.jobs == 4
 
+    def test_resilient_executor_honours_the_same_contract(self):
+        """The fault-tolerant backend is an Executor too: byte-identical
+        ordered outcomes with no faults injected (its recovery paths are
+        exercised in tests/stats/test_resilient.py)."""
+        from repro.stats.resilient import ResilientExecutor
+
+        mc_seq = MonteCarlo(master_seed=42, trials=10)
+        mc_res = MonteCarlo(master_seed=42, trials=10)
+        seq = mc_seq.run(_synthetic_trial, executor=SequentialExecutor())
+        with ResilientExecutor(jobs=4) as executor:
+            res = mc_res.run(_synthetic_trial, executor=executor)
+        assert pickle.dumps(seq) == pickle.dumps(res)
+
 
 #: The real simulation trial functions behind the paper's Monte-Carlo
 #: figures, each exercised on a two-point BER grid at 3 trials/point.

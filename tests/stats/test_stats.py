@@ -138,6 +138,31 @@ class TestSweep:
         legacy = Sweep(master_seed=5, trials_per_point=1, legacy_seeds=True)
         assert legacy.point_master_seed(2) == 5 + 2 * LEGACY_POINT_STRIDE
 
+    def test_zero_successful_trials_is_flagged_nan_not_error(self):
+        # regression: a point where every trial failed is a legitimate
+        # campaign result — the conditional mean degrades to the same
+        # flagged-NaN estimate as the n=0 case (NaN mean, NaN half-width,
+        # rendered "±?"), while the success column stays a proper Wilson
+        # interval at 0/n
+        def trial(x, seed):
+            return TrialOutcome(seed=seed, success=False, value=0.0)
+
+        sweep = Sweep(master_seed=3, trials_per_point=4)
+        (point,) = sweep.run([(1.0, "one")], trial)
+        assert math.isnan(point.mean.mean)
+        assert math.isnan(point.mean.ci_halfwidth)
+        assert point.mean.n == 0
+        assert ci_cell(point.mean.ci_halfwidth) == "±?"
+        assert point.success.successes == 0
+        assert point.success.n == 4
+        assert point.success.p == 0.0
+        assert 0.0 < point.success.hi < 1.0  # Wilson 0/4, not NaN
+        # and the flagged estimate compares equal to itself (NaN-aware),
+        # so byte-level sweep comparisons still work on all-failed points
+        (again,) = Sweep(master_seed=3, trials_per_point=4).run(
+            [(1.0, "one")], trial)
+        assert again.mean == point.mean
+
 
 class TestTables:
     def test_alignment(self):
