@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import sys
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -12,6 +14,7 @@ from repro.config import SimulationConfig
 from repro.link.page import PageTarget
 from repro.stats.chaos import ChaosConfig
 from repro.stats.executor import Executor, default_jobs, get_executor
+from repro.stats.fabric import FABRIC_ENV_VAR, FabricExecutor
 from repro.stats.montecarlo import TrialOutcome
 from repro.stats.resilient import ResilientExecutor
 from repro.stats.store import (
@@ -55,6 +58,16 @@ BIT_ACCURATE_ENV_VAR = "REPRO_BIT_ACCURATE"
 #: purely observational, so archived runs produce byte-identical results
 #: to unarchived ones — the archive only adds the drill-down record.
 TIMELINE_DIR_ENV_VAR = "REPRO_TIMELINE_DIR"
+
+#: Environment switch: emit a journal-backed status line to stderr while a
+#: campaign runs.  The value is the minimum seconds between lines (any
+#: other truthy value selects the 2 s default); campaigns stay
+#: byte-identical — the line is rendered from the executor's progress
+#: dict, never from the results.
+PROGRESS_ENV_VAR = "REPRO_PROGRESS"
+
+#: Default cadence of the ``REPRO_PROGRESS`` status line.
+DEFAULT_PROGRESS_INTERVAL_S = 2.0
 
 
 def bit_accurate_default() -> bool:
@@ -104,21 +117,66 @@ def campaign_store(name: str, spec, resume: Optional[str] = None
     return ResultStore(path, campaign_digest(spec), meta={"campaign": name})
 
 
+def progress_interval() -> Optional[float]:
+    """The ``REPRO_PROGRESS`` status-line cadence in seconds, or None when
+    progress reporting is off (unset, blank or falsy)."""
+    value = os.environ.get(PROGRESS_ENV_VAR, "").strip()
+    if value.lower() in ("", "0", "false", "off", "no"):
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return DEFAULT_PROGRESS_INTERVAL_S
+
+
+def _progress_printer(interval_s: float) -> Callable[[dict], None]:
+    """A rate-limited stderr renderer of the journal-backed progress dict
+    (``completed/total`` plus whatever counters the backend reports —
+    retries, redispatches, pool rebuilds, fabric workers, stolen leases,
+    missed heartbeats).  The final ``completed == total`` line always
+    prints, so a finished campaign never ends on a stale count."""
+    last_emit = [0.0]
+
+    def _print(progress: dict) -> None:
+        now = time.monotonic()
+        done = progress.get("completed") == progress.get("total")
+        if not done and now - last_emit[0] < interval_s:
+            return
+        last_emit[0] = now
+        counters = " ".join(
+            f"{key}={value}" for key, value in progress.items()
+            if key not in ("completed", "total", "cached", "last_checkpoint")
+            and value)
+        line = (f"[repro] {progress.get('completed')}/{progress.get('total')}"
+                f" trials (cached {progress.get('cached', 0)})")
+        if counters:
+            line += " " + counters
+        print(line, file=sys.stderr, flush=True)
+
+    return _print
+
+
 def _campaign_executor(jobs: Optional[int],
                        store: Optional[ResultStore]) -> Executor:
     """The execution backend for one campaign run.
 
-    The plain backends when nothing fault-tolerant is in play; the
-    :class:`~repro.stats.resilient.ResilientExecutor` as soon as a result
-    journal is active or ``REPRO_CHAOS`` schedules fault injection — a
-    journalled campaign should survive the worker deaths the journal
-    exists for.  Sequential runs (jobs resolves to 1) stay on the
-    reference backend; journal resume still applies there through
-    :func:`~repro.stats.store.map_with_store`.
+    ``REPRO_FABRIC`` selects the distributed sweep fabric
+    (:class:`~repro.stats.fabric.FabricExecutor`) outright.  Otherwise the
+    plain backends run when nothing fault-tolerant is in play, and the
+    :class:`~repro.stats.resilient.ResilientExecutor` takes over as soon
+    as a result journal is active, ``REPRO_CHAOS`` schedules fault
+    injection or ``REPRO_PROGRESS`` wants the journal-backed status line
+    — at any job count, since its sequential path carries the same
+    chaos/retry/checkpoint story as the pool.
     """
     chaos = ChaosConfig.from_env()
-    if default_jobs(jobs) > 1 and (store is not None or chaos is not None):
-        return ResilientExecutor(jobs=default_jobs(jobs), chaos=chaos)
+    interval = progress_interval()
+    on_progress = _progress_printer(interval) if interval is not None else None
+    if os.environ.get(FABRIC_ENV_VAR, "").strip():
+        return FabricExecutor.from_env(chaos=chaos, on_progress=on_progress)
+    if store is not None or chaos is not None or on_progress is not None:
+        return ResilientExecutor(jobs=default_jobs(jobs), chaos=chaos,
+                                 on_progress=on_progress)
     return get_executor(jobs)
 
 

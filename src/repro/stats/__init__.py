@@ -15,6 +15,13 @@ from repro.stats.executor import (
     default_jobs,
     get_executor,
 )
+from repro.stats.fabric import (
+    FabricCoordinator,
+    FabricError,
+    FabricExecutor,
+    FabricWorker,
+    WorkerRefusedError,
+)
 from repro.stats.montecarlo import (
     MonteCarlo,
     TrialExecutionError,
@@ -36,6 +43,10 @@ __all__ = [
     "ChaosError",
     "CorruptJournalError",
     "Executor",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricExecutor",
+    "FabricWorker",
     "MeanEstimate",
     "MonteCarlo",
     "ParallelExecutor",
@@ -48,6 +59,7 @@ __all__ = [
     "SweepPoint",
     "TrialExecutionError",
     "TrialOutcome",
+    "WorkerRefusedError",
     "campaign_digest",
     "campaign_spec",
     "ci_cell",

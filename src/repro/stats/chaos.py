@@ -7,7 +7,11 @@ supplies that test harness: a **seed-scheduled chaos schedule** that maps
 every trial seed to at most one injected fault — a worker-process crash, a
 hang, or a transient exception — through the same :func:`derive_seed`
 diffusion the trials themselves use.  Same chaos seed ⇒ same schedule,
-byte-for-byte, on any host.
+byte-for-byte, on any host.  A second, independent stream schedules the
+**network faults** of the distributed fabric (connection drop, heartbeat
+blackhole, duplicated and delayed result delivery — see
+:data:`NET_FAULT_KINDS`), so multi-host recovery is exercised under the
+same determinism contract.
 
 Faults fire **once**: each (kind, trial seed) pair is claimed in a ledger
 before injection, so a retried or re-dispatched trial runs clean the
@@ -44,11 +48,28 @@ CHAOS_ENV_VAR = "REPRO_CHAOS"
 #: Stream tag namespacing the chaos schedule away from trial seeds.
 CHAOS_STREAM = 0x43414F53  # "CAOS"
 
+#: Stream tag of the *network* fault schedule — independent of the
+#: process-fault bands above, so e.g. a drop and a crash can never
+#: occupy the same uniform draw.
+NET_CHAOS_STREAM = 0x4E455443  # "NETC"
+
 #: Exit status of a chaos-crashed worker process (a recognisable corpse).
 CHAOS_EXIT_CODE = 86
 
 #: Fault kinds in threshold order (crash band first, then hang, then exc).
 FAULT_KINDS = ("crash", "hang", "exc")
+
+#: Network fault kinds in threshold order, injected around fabric result
+#: delivery (see :mod:`repro.stats.fabric`): abrupt connection drop,
+#: heartbeat blackhole, duplicated result delivery, delayed delivery.
+NET_FAULT_KINDS = ("drop", "blackhole", "dup", "delay")
+
+#: Fire-once ledger claims older than this are stale campaign residue and
+#: are expired by :meth:`ChaosConfig.begin_run` — old enough that a
+#: crash-killed campaign re-run minutes later still resumes with its
+#: claims intact (no re-crash loop), young enough that yesterday's ledger
+#: never silently disarms today's schedule.
+LEDGER_TTL_S = 3600.0
 
 _TWO64 = float(1 << 64)
 
@@ -64,11 +85,21 @@ class ChaosError(RuntimeError):
 class ChaosConfig:
     """A deterministic fault schedule over trial seeds.
 
-    ``crash``/``hang``/``exc`` are per-trial fault probabilities (the
-    bands are disjoint, so their sum must stay <= 1).  ``hang_s`` is the
-    injected stall length.  ``state_dir`` hosts the fire-once ledger;
+    ``crash``/``hang``/``exc`` are per-trial *process* fault probabilities
+    (the bands are disjoint, so their sum must stay <= 1).  ``hang_s`` is
+    the injected stall length.  ``state_dir`` hosts the fire-once ledger;
     leave it ``None`` only for hang/exc faults or let the executor
     allocate one (crash claims must outlive the crashing process).
+
+    ``drop``/``blackhole``/``dup``/``delay`` are the *network* fault
+    bands of the distributed fabric (:mod:`repro.stats.fabric`), drawn
+    from an independent stream so they compose freely with the process
+    bands: a worker abruptly closing its coordinator connection, a
+    heartbeat blackhole of ``blackhole_s`` seconds (the lease expires and
+    is re-leased elsewhere), a duplicated result delivery (dropped
+    pre-journal), and a delivery delayed by ``delay_s`` (a steal target).
+    All remain pure functions of ``(seed, trial_seed)`` — a fabric
+    campaign's network weather is as replayable as its trials.
     """
 
     seed: int = 0
@@ -76,6 +107,12 @@ class ChaosConfig:
     hang: float = 0.0
     exc: float = 0.0
     hang_s: float = 2.0
+    drop: float = 0.0
+    blackhole: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
+    blackhole_s: float = 2.0
+    delay_s: float = 0.5
     state_dir: Optional[str] = None
 
     def __post_init__(self):
@@ -84,15 +121,24 @@ class ChaosConfig:
             raise ValueError(
                 f"fault probabilities must be >= 0 and sum to <= 1, got "
                 f"crash={self.crash} hang={self.hang} exc={self.exc}")
+        net_total = self.drop + self.blackhole + self.dup + self.delay
+        if not 0.0 <= net_total <= 1.0 \
+                or min(self.drop, self.blackhole, self.dup, self.delay) < 0:
+            raise ValueError(
+                f"network fault probabilities must be >= 0 and sum to <= 1, "
+                f"got drop={self.drop} blackhole={self.blackhole} "
+                f"dup={self.dup} delay={self.delay}")
 
     @classmethod
     def from_env(cls, value: Optional[str] = None) -> Optional["ChaosConfig"]:
         """Parse ``REPRO_CHAOS`` (or ``value``); None when unset/blank.
 
         Format: comma-separated ``key=value`` pairs with keys ``seed``,
-        ``crash``, ``hang``, ``exc``, ``hang_s`` and ``state`` (the ledger
-        directory).  Unknown keys are rejected loudly — a typo silently
-        disabling chaos would defeat the harness.
+        ``crash``, ``hang``, ``exc``, ``hang_s``, the network-fault keys
+        ``drop``, ``blackhole``, ``dup``, ``delay``, ``blackhole_s``,
+        ``delay_s``, and ``state`` (the ledger directory).  Unknown keys
+        are rejected loudly — a typo silently disabling chaos would
+        defeat the harness.
         """
         raw = os.environ.get(CHAOS_ENV_VAR, "") if value is None else value
         raw = raw.strip()
@@ -109,7 +155,9 @@ class ChaosConfig:
                 raise ValueError(f"malformed {CHAOS_ENV_VAR} entry {pair!r}")
             if key == "seed":
                 fields["seed"] = int(val, 0)
-            elif key in ("crash", "hang", "exc", "hang_s"):
+            elif key in ("crash", "hang", "exc", "hang_s", "drop",
+                         "blackhole", "dup", "delay", "blackhole_s",
+                         "delay_s"):
                 fields[key] = float(val)
             elif key == "state":
                 fields["state_dir"] = val
@@ -148,6 +196,59 @@ class ChaosConfig:
             if kind is not None:
                 plan[seed] = kind
         return plan
+
+    def net_fault_for(self, trial_seed: int) -> Optional[str]:
+        """The network fault scheduled for ``trial_seed``'s delivery, or
+        None — a pure function of ``(self.seed, trial_seed)`` on its own
+        stream, independent of :meth:`fault_for`'s process bands."""
+        uniform = derive_seed(self.seed, trial_seed,
+                              stream=NET_CHAOS_STREAM) / _TWO64
+        threshold = 0.0
+        for kind in NET_FAULT_KINDS:
+            threshold += getattr(self, kind)
+            if uniform < threshold:
+                return kind
+        return None
+
+    def net_schedule(self, trial_seeds: Iterable[int]) -> dict:
+        """``{trial_seed: net_fault_kind}`` over ``trial_seeds`` (omits
+        clean deliveries)."""
+        plan = {}
+        for seed in trial_seeds:
+            kind = self.net_fault_for(seed)
+            if kind is not None:
+                plan[seed] = kind
+        return plan
+
+    # -- ledger lifecycle --------------------------------------------------
+
+    def begin_run(self, ttl_s: float = LEDGER_TTL_S) -> int:
+        """Expire stale fire-once claims at the start of a campaign run.
+
+        A reused ``state_dir`` (an exported ``REPRO_CHAOS`` with
+        ``state=``) accumulates claim files across runs, and a claim left
+        by *yesterday's* campaign would silently disarm today's schedule
+        — every fault would look already-fired.  Called once per executor
+        construction: claim files older than ``ttl_s`` seconds are
+        removed (returning how many), so a fresh campaign starts with a
+        live schedule while a kill-and-resume minutes later still honours
+        the claims of its own run (no re-crash loop on resume).  Also
+        bounds ledger growth: the directory never holds more than one
+        TTL window of claims.
+        """
+        if self.state_dir is None or not os.path.isdir(self.state_dir):
+            return 0
+        expired = 0
+        now = time.time()
+        for name in os.listdir(self.state_dir):
+            path = os.path.join(self.state_dir, name)
+            try:
+                if now - os.path.getmtime(path) > ttl_s:
+                    os.unlink(path)
+                    expired += 1
+            except OSError:
+                continue  # claimed/removed concurrently — either is fine
+        return expired
 
 
 def _claim_fault(config: ChaosConfig, kind: str, trial_seed: int) -> bool:
@@ -194,3 +295,23 @@ def maybe_inject(config: Optional[ChaosConfig], trial_seed: int) -> None:
         return
     raise ChaosError(
         f"injected transient fault at trial seed {trial_seed:#018x}")
+
+
+def maybe_net_fault(config: Optional[ChaosConfig],
+                    trial_seed: int) -> Optional[str]:
+    """Fabric-worker injection point: the claimed network fault scheduled
+    for ``trial_seed``'s result delivery, or None.
+
+    Unlike :func:`maybe_inject` this does not *perform* the fault — the
+    four network faults are socket-level behaviours only the fabric
+    worker's delivery loop can enact (see
+    :class:`repro.stats.fabric.FabricWorker`) — it just claims it in the
+    fire-once ledger (token-prefixed ``net-`` so process and network
+    claims never collide) and reports what to do.
+    """
+    if config is None:
+        return None
+    kind = config.net_fault_for(trial_seed)
+    if kind is None or not _claim_fault(config, f"net-{kind}", trial_seed):
+        return None
+    return kind

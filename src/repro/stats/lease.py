@@ -1,0 +1,100 @@
+"""Shared chunk-lease machinery of the fault-tolerant executors.
+
+A **chunk lease** is the unit of recoverable work both robust backends
+dispatch: a contiguous slice of the flattened task queue, addressed by
+its ``(sweep, point, trial, seed)`` journal keys, with the retry /
+re-dispatch bookkeeping a recovery loop needs.
+:class:`~repro.stats.resilient.ResilientExecutor` leases chunks to forked
+worker processes on one host; the distributed fabric
+(:mod:`repro.stats.fabric`) leases the *same* chunks to TCP workers on
+any host.  Keeping the lease record, the chunk-size formula and the
+worker-side chunk body here means the two layers cannot drift: a task
+journalled by one resumes under the other, and chaos injection behaves
+identically in a forked pool worker and a remote fabric worker.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Sequence
+
+from repro.stats.chaos import ChaosConfig, ChaosError, maybe_inject
+from repro.stats.executor import _CHUNKS_PER_JOB
+from repro.stats.montecarlo import TrialExecutionError
+
+
+class ChunkLease:
+    """One dispatched chunk: its item indices, retry state and deadline.
+
+    The base fields drive :class:`ResilientExecutor`'s recovery loop; the
+    fabric additionally tracks which workers hold the lease
+    (``owners``), when it was last assigned (``assigned_at``) and how
+    many duplicate assignments were stolen onto idle workers
+    (``steals``).  First completion wins either way — duplicates are
+    byte-identical because trials are pure functions of their seeds.
+    """
+
+    __slots__ = ("lease_id", "indices", "items", "keys", "attempts",
+                 "deadline", "retry_at", "done", "owners", "assigned_at",
+                 "steals")
+
+    def __init__(self, indices: list, items: list, keys: list,
+                 lease_id: int = 0):
+        self.lease_id = lease_id
+        self.indices = indices
+        self.items = items
+        self.keys = keys
+        self.attempts = 0       # failed attempts so far
+        self.deadline = None    # monotonic re-dispatch deadline
+        self.retry_at = None    # monotonic backoff gate (failed leases)
+        self.done = False
+        self.owners: set = set()    # worker ids currently holding the lease
+        self.assigned_at = None     # monotonic time of the last assignment
+        self.steals = 0             # duplicate assignments so far
+
+
+def chunk_size_for(n_items: int, jobs: int,
+                   chunk_size: Optional[int] = None) -> int:
+    """The chunk size both backends use: an explicit override, else the
+    load-balancing default of ``_CHUNKS_PER_JOB`` chunks per worker."""
+    if chunk_size is not None:
+        return max(1, chunk_size)
+    jobs = max(1, jobs)
+    return max(1, math.ceil(n_items / (jobs * _CHUNKS_PER_JOB)))
+
+
+def make_leases(items: Sequence, keys: Sequence, pending: Sequence[int],
+                size: int) -> list:
+    """Slice the pending indices of ``items``/``keys`` into leases of at
+    most ``size`` tasks, in queue order."""
+    return [
+        ChunkLease(indices=list(pending[lo:lo + size]),
+                   items=[items[i] for i in pending[lo:lo + size]],
+                   keys=[keys[i] for i in pending[lo:lo + size]],
+                   lease_id=lease_id)
+        for lease_id, lo in enumerate(range(0, len(pending), size))
+    ]
+
+
+def run_chunk(fn: Callable[[Any], Any], chunk: list, keys: list,
+              chaos: Optional[ChaosConfig]) -> list:
+    """Worker-side chunk body: chaos injection + coordinate-tagged errors.
+
+    Injection happens *before* the trial function runs, so trial outcomes
+    are never perturbed — a completed chaos campaign stays byte-identical
+    to a clean one.  Any exception escaping the trial is wrapped with its
+    journal key so the parent can quote the replay seed.  Shared verbatim
+    by the forked pool workers and the TCP fabric workers.
+    """
+    results = []
+    for item, key in zip(chunk, keys):
+        maybe_inject(chaos, key[3])
+        try:
+            results.append(fn(item))
+        except (TrialExecutionError, ChaosError, KeyboardInterrupt,
+                SystemExit):
+            raise
+        except Exception as error:
+            raise TrialExecutionError(key[0], key[1], key[2], key[3],
+                                      repr(error)) from error
+    return results

@@ -38,58 +38,24 @@ Deterministic fault injection for testing all of the above lives in
 
 from __future__ import annotations
 
-import math
 import pickle
 import tempfile
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.stats.chaos import ChaosConfig, ChaosError, maybe_inject
-from repro.stats.executor import _CHUNKS_PER_JOB, ParallelExecutor
+from repro.stats.chaos import ChaosConfig, maybe_inject
+from repro.stats.executor import ParallelExecutor
+from repro.stats.lease import (
+    ChunkLease as _ChunkLease,
+    chunk_size_for,
+    make_leases,
+    run_chunk as _resilient_chunk,
+)
 from repro.stats.montecarlo import TrialExecutionError
 from repro.stats.store import ResultStore
-
-
-def _resilient_chunk(fn: Callable[[Any], Any], chunk: list, keys: list,
-                     chaos: Optional[ChaosConfig]) -> list:
-    """Worker-side chunk body: chaos injection + coordinate-tagged errors.
-
-    Injection happens *before* the trial function runs, so trial outcomes
-    are never perturbed — a completed chaos campaign stays byte-identical
-    to a clean one.  Any exception escaping the trial is wrapped with its
-    journal key so the parent can quote the replay seed.
-    """
-    results = []
-    for item, key in zip(chunk, keys):
-        maybe_inject(chaos, key[3])
-        try:
-            results.append(fn(item))
-        except (TrialExecutionError, ChaosError, KeyboardInterrupt,
-                SystemExit):
-            raise
-        except Exception as error:
-            raise TrialExecutionError(key[0], key[1], key[2], key[3],
-                                      repr(error)) from error
-    return results
-
-
-class _ChunkLease:
-    """One dispatched chunk: its item indices, retry state and deadline."""
-
-    __slots__ = ("indices", "items", "keys", "attempts", "deadline",
-                 "retry_at", "done")
-
-    def __init__(self, indices: list, items: list, keys: list):
-        self.indices = indices
-        self.items = items
-        self.keys = keys
-        self.attempts = 0       # failed attempts so far
-        self.deadline = None    # monotonic re-dispatch deadline
-        self.retry_at = None    # monotonic backoff gate (failed leases)
-        self.done = False
 
 
 class ResilientExecutor(ParallelExecutor):
@@ -139,6 +105,11 @@ class ResilientExecutor(ParallelExecutor):
             # ledger would re-fire the same fault in each fresh worker
             chaos = chaos.with_state_dir(
                 tempfile.mkdtemp(prefix="repro-chaos-"))
+        if chaos is not None:
+            # a campaign start, not a resume of this executor's own run:
+            # expire stale fire-once claims left by earlier campaigns so
+            # the schedule is live again (see ChaosConfig.begin_run)
+            chaos.begin_run()
         self.journal = journal
         self.chaos = chaos
         self.chunk_timeout_s = chunk_timeout_s
@@ -237,31 +208,32 @@ class ResilientExecutor(ParallelExecutor):
                 parallel = False
 
         if not parallel:
+            # the in-process path carries the same fault story as the
+            # pool: chaos injection precedes each trial (a jobs=1 campaign
+            # under REPRO_CHAOS dies and resumes like a parallel one) and
+            # transient faults get the same bounded backoff retry.  Any
+            # escape checkpoints the journal first, so a sequential death
+            # is exactly as resumable as a worker death.
             try:
                 for index in pending:
-                    results[index] = fn(items[index])
+                    results[index] = self._run_one_with_retry(
+                        fn, items[index], keys[index], counters)
                     have.add(index)
                     if journal is not None:
                         journal.record(keys[index], results[index])
                         journal.flush()
                     _advance_progress()
                     _note_progress()
-            except KeyboardInterrupt:
+            except BaseException:
                 if journal is not None:
                     journal.flush()
                 raise
             return results
 
         # -- parallel path ------------------------------------------------
-        jobs = min(self.jobs, len(pending))
-        size = self.chunk_size or max(
-            1, math.ceil(len(pending) / (jobs * _CHUNKS_PER_JOB)))
-        leases = [
-            _ChunkLease(indices=pending[lo:lo + size],
-                        items=[items[i] for i in pending[lo:lo + size]],
-                        keys=[keys[i] for i in pending[lo:lo + size]])
-            for lo in range(0, len(pending), size)
-        ]
+        size = chunk_size_for(len(pending), min(self.jobs, len(pending)),
+                              self.chunk_size)
+        leases = make_leases(items, keys, pending, size)
         remaining = len(leases)
         future_map: dict = {}
 
@@ -367,6 +339,24 @@ class ResilientExecutor(ParallelExecutor):
             self._checkpoint_and_abort(journal)
             raise
         return results
+
+    def _run_one_with_retry(self, fn, item, key, counters: dict):
+        """One sequential trial under the executor's fault policy: chaos
+        injection before the trial, then bounded exponential-backoff retry
+        of transient failures (``max_retries``, like a parallel chunk)."""
+        attempts = 0
+        while True:
+            try:
+                maybe_inject(self.chaos, key[3])
+                return fn(item)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                counters["retries"] += 1
+                time.sleep(self.backoff_base_s * (2 ** (attempts - 1)))
 
     # -- pool lifecycle ---------------------------------------------------
 

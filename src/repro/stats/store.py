@@ -98,6 +98,7 @@ class ResultStore:
         if not os.path.exists(self.path):
             header = {"kind": "header", "version": STORE_VERSION,
                       "spec_digest": self.spec_digest, **meta}
+            self._header = header
             with open(self.path, "w", encoding="utf-8") as stream:
                 stream.write(json.dumps(header, sort_keys=True) + "\n")
                 stream.flush()
@@ -114,6 +115,7 @@ class ResultStore:
                 or header.get("version") != STORE_VERSION:
             raise CorruptJournalError(
                 f"{self.path}: unrecognised journal header {header!r}")
+        self._header = header
         if header.get("spec_digest") != self.spec_digest:
             raise SpecMismatchError(
                 f"{self.path}: journal belongs to campaign spec "
@@ -169,6 +171,47 @@ class ResultStore:
         self.appended += 1
         return True
 
+    def compact(self) -> dict:
+        """Rewrite the journal as its canonical minimal form.
+
+        The in-memory view is already canonical — loading dropped
+        duplicate keys (first record wins) and cut any crash-truncated
+        tail — so compaction is: write the preserved spec-digest header
+        plus exactly one line per journalled key to a sibling temp file,
+        fsync it, and atomically replace the journal.  Duplicate lines
+        accumulate when straggler re-dispatch or fabric work-stealing
+        races a kill (the loser's record can land after the winner's
+        checkpoint but before the in-memory dedup is re-established by a
+        resume), and every resumed run re-reads the whole file — compact
+        reclaims that space.  Returns ``{"records", "lines_dropped",
+        "bytes_before", "bytes_after"}``.
+        """
+        self._stream.flush()
+        bytes_before = os.path.getsize(self.path)
+        with open(self.path, "rb") as stream:
+            data_lines = sum(1 for line in stream if line.strip()) - 1
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(self._header, sort_keys=True) + "\n")
+            for key, outcome in self._results.items():
+                payload = base64.b64encode(
+                    pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+                stream.write(json.dumps(
+                    {"k": list(key), "v": payload.decode("ascii")},
+                    separators=(",", ":")) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        self._stream.close()
+        os.replace(tmp_path, self.path)
+        self._stream = open(self.path, "a", encoding="utf-8")
+        self.flush()
+        return {
+            "records": len(self._results),
+            "lines_dropped": data_lines - len(self._results),
+            "bytes_before": bytes_before,
+            "bytes_after": os.path.getsize(self.path),
+        }
+
     def flush(self) -> None:
         """Checkpoint: fsync everything recorded so far."""
         if self._stream.closed:
@@ -205,6 +248,34 @@ class ResultStore:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def compact_journal(path: str) -> dict:
+    """Compact the journal at ``path`` in place (CLI entry point:
+    ``python -m repro store-compact``).
+
+    The header is read first so the rewrite is bound to whatever campaign
+    digest the journal already carries — compaction can never change
+    which campaign a journal belongs to.  Returns :meth:`ResultStore.compact`'s
+    stats dict.
+    """
+    with open(path, "rb") as stream:
+        first = stream.readline().strip()
+    if not first:
+        raise CorruptJournalError(f"{path}: missing journal header")
+    try:
+        header = json.loads(first)
+    except ValueError as error:
+        raise CorruptJournalError(
+            f"{path}:1: malformed journal header ({error})") from error
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise CorruptJournalError(
+            f"{path}: unrecognised journal header {header!r}")
+    store = ResultStore(path, header.get("spec_digest"))
+    try:
+        return store.compact()
+    finally:
+        store.close()
 
 
 def map_with_store(executor, fn: Callable, items: Sequence,

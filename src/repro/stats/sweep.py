@@ -152,6 +152,10 @@ class Sweep:
         journal: already-completed (point, trial) tasks are skipped and a
         killed run restarts where it stopped, byte-identical to a clean
         one.  Journalling rides on the flattened task queue only.
+
+        ``executor="fabric"`` (the string) runs the queue on the
+        distributed sweep fabric, configured from ``REPRO_FABRIC`` —
+        flattened dispatch only, since leases ride the flat task keys.
         """
         if dispatch == "flat":
             self.points = run_flattened([(self, xs, trial_fn)], executor,
@@ -162,6 +166,10 @@ class Sweep:
         if store is not None:
             raise ValueError(
                 "result journalling requires the flattened dispatch mode")
+        if isinstance(executor, str):
+            raise ValueError(
+                "named executors (e.g. 'fabric') require the flattened "
+                "dispatch mode")
         self.points.clear()
         for point_index, (x, label) in enumerate(xs):
             mc = self.point_monte_carlo(point_index)
@@ -272,20 +280,36 @@ def run_flattened(
     is journalled as it completes, so a campaign killed at any moment
     restarts from its last checkpoint (see :mod:`repro.stats.store`).
 
+    ``executor`` may also be the string ``"fabric"``: the queue then runs
+    on the distributed sweep fabric (:mod:`repro.stats.fabric`),
+    configured from the ``REPRO_FABRIC`` environment variable; the
+    executor is owned (and closed) by this call.
+
     Returns one ``list[SweepPoint]`` per input sweep, byte-identical to
     running each sweep in ``"per_point"`` mode — with or without a store,
     at any job count.
     """
+    owned: Optional[Executor] = None
+    if isinstance(executor, str):
+        if executor != "fabric":
+            raise ValueError(f"unknown executor name: {executor!r}")
+        from repro.stats.fabric import FabricExecutor
+
+        executor = owned = FabricExecutor.from_env()
     if executor is None:
         executor = SequentialExecutor()
     tasks, slices = flat_tasks(sweeps)
 
     flat_fn = _FlatTrial(trial_fns=[fn for _, _, fn in sweeps],
                          xs=[[x for x, _ in xs] for _, xs, _ in sweeps])
-    if store is None:
-        outcomes = executor.map(flat_fn, tasks)
-    else:
-        outcomes = map_with_store(executor, flat_fn, tasks, tasks, store)
+    try:
+        if store is None:
+            outcomes = executor.map(flat_fn, tasks)
+        else:
+            outcomes = map_with_store(executor, flat_fn, tasks, tasks, store)
+    finally:
+        if owned is not None:
+            owned.close()
 
     results: list[list[SweepPoint]] = []
     for (sweep, xs, _trial_fn), point_slices in zip(sweeps, slices):

@@ -183,6 +183,67 @@ def test_twice_killed_twice_resumed_campaign_matches_sequential(
     assert _executions(campaign_log) == executed
 
 
+def test_sequential_chaos_resume_replays_journal_with_zero_recompute(
+        tiny_experiments, monkeypatch, tmp_path):
+    """The jobs=1 satellite of the fabric PR: a *sequential* campaign
+    under ``REPRO_CHAOS`` transient exceptions dies checkpointed like a
+    parallel one, and the rerun replays every journalled trial with zero
+    recompute — each task executes exactly once across both runs."""
+    from repro.stats.chaos import CHAOS_ENV_VAR, ChaosError
+
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    resume_dir = str(tmp_path / "journals")
+    xs = [(float(count), str(count))
+          for count in ext_interference.PICONET_COUNTS]
+    tasks = _campaign_tasks(xs)
+
+    # clean sequential reference first, while chaos is off
+    reference = run_sweep(SEED, TRIALS, xs, ext_interference.run_trial,
+                          jobs=1)
+    reference_bytes = pickle.dumps(reference)
+
+    # exactly one transient exception, early in the queue but never on
+    # the first task, so the kill leaves a non-empty checkpoint behind
+    # (deterministic scan, mirroring _early_crash_chaos)
+    seeds = [task[3] for task in tasks]
+    early = set(seeds[1:len(seeds) // 2])
+    for chaos_seed in range(20000):
+        plan = ChaosConfig(seed=chaos_seed, exc=0.15).schedule(seeds)
+        if len(plan) == 1 and set(plan) <= early:
+            break
+    else:
+        raise AssertionError("no single-early-exc chaos seed found")
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        f"seed={chaos_seed},exc=0.15,state={tmp_path / 'ledger'}")
+
+    campaign_log = str(tmp_path / "campaign.log")
+    campaign_fn = _CountingCampaignTrial(campaign_log)
+    # retries disabled, so the injected fault kills the sequential run —
+    # after the journal checkpointed everything completed before it
+    with ResilientExecutor(jobs=1, max_retries=0) as executor:
+        with pytest.raises(ChaosError, match="injected"):
+            run_sweep(SEED, TRIALS, xs, campaign_fn, executor=executor,
+                      resume=resume_dir, store_name="sequential")
+
+    journal_path = os.path.join(resume_dir, "sequential.jsonl")
+    done = _journal_keys(journal_path)
+    assert done and done < set(tasks)  # died mid-run, checkpointed
+    # injection precedes the trial, so every executed trial is journalled
+    assert len(_executions(campaign_log)) == len(done)
+
+    # rerun at jobs=1 with REPRO_CHAOS still set: _campaign_executor
+    # routes it through the resilient sequential path, the fault has
+    # fired once (durable ledger), and the journalled prefix is replayed
+    resumed = run_sweep(SEED, TRIALS, xs, campaign_fn, jobs=1,
+                        resume=resume_dir, store_name="sequential")
+    assert pickle.dumps(resumed) == reference_bytes
+    # zero recompute: across both runs each task executed exactly once
+    executed = _executions(campaign_log)
+    assert len(executed) == len(tasks)
+    assert len(set(executed)) == len(tasks)
+
+
 def test_changed_campaign_spec_refuses_stale_journal(
         tiny_experiments, monkeypatch, tmp_path):
     from repro.stats.chaos import CHAOS_ENV_VAR

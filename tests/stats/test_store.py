@@ -20,6 +20,7 @@ from repro.stats.store import (
     ResultStore,
     SpecMismatchError,
     campaign_digest,
+    compact_journal,
     map_with_store,
 )
 
@@ -126,6 +127,71 @@ class TestResultStore:
             store.record((0, 0, 0, 1), _outcome(1))
             store.flush()
             assert store.last_checkpoint is not None
+
+
+class TestCompact:
+    """``compact()`` / ``python -m repro store-compact``: rewrite a
+    journal dropping duplicate keys and the crash-truncated tail while
+    preserving the spec-digest header."""
+
+    @staticmethod
+    def _raw_line(key, outcome) -> str:
+        """One journal data line, encoded like ResultStore.record — for
+        planting literal duplicates the in-process dedup would refuse."""
+        import base64
+        import pickle
+
+        payload = base64.b64encode(
+            pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+        return json.dumps({"k": list(key), "v": payload.decode("ascii")},
+                          separators=(",", ":")) + "\n"
+
+    def test_drops_duplicates_and_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with ResultStore(path, campaign_digest(SPEC),
+                         meta={"campaign": "t"}) as store:
+            store.record((0, 0, 0, 7), _outcome(7))
+            store.record((0, 0, 1, 8), _outcome(8))
+        with open(path, "a", encoding="utf-8") as stream:
+            # a straggler's duplicate records racing a kill...
+            stream.write(self._raw_line((0, 0, 0, 7), _outcome(7)))
+            stream.write(self._raw_line((0, 0, 1, 8), _outcome(8)))
+            stream.write('{"k": [0, 0, 2')  # ...and the kill mid-append
+
+        with pytest.warns(RuntimeWarning, match="truncated final journal"):
+            stats = compact_journal(path)
+        assert stats["records"] == 2
+        assert stats["lines_dropped"] == 2
+        assert stats["bytes_after"] < stats["bytes_before"]
+
+        with open(path, encoding="utf-8") as stream:
+            lines = [line for line in stream.read().splitlines() if line]
+        assert len(lines) == 3  # header + exactly one line per key
+        header = json.loads(lines[0])
+        assert header["spec_digest"] == campaign_digest(SPEC)
+        assert header["campaign"] == "t"  # meta preserved verbatim
+        with ResultStore(path, campaign_digest(SPEC)) as reopened:
+            assert reopened.get((0, 0, 0, 7)) == _outcome(7)
+            assert reopened.get((0, 0, 1, 8)) == _outcome(8)
+
+    def test_idempotent_and_appendable_afterwards(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        store = ResultStore(path, campaign_digest(SPEC))
+        store.record((0, 0, 0, 1), _outcome(1))
+        stats = store.compact()
+        assert stats["lines_dropped"] == 0
+        # the store stays live across its own compaction
+        store.record((0, 0, 1, 2), _outcome(2))
+        store.close()
+        with ResultStore(path, campaign_digest(SPEC)) as reopened:
+            assert len(reopened) == 2
+
+    def test_headerless_journal_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write('{"kind": "something-else"}\n')
+        with pytest.raises(CorruptJournalError, match="header"):
+            compact_journal(path)
 
 
 class TestMapWithStore:
