@@ -465,6 +465,22 @@ class HopSelector:
                 freqs[remap] = afh.register[index[remap] % afh.n_used]
         return freqs
 
+    def connection_window(self, clk_start: int, window: int) -> np.ndarray:
+        """Frequencies of ``window`` same-parity slots from ``clk_start``
+        (stride 2 CLK ticks — the grid the slot loops query on), served
+        through the shared memo so a later scalar :meth:`connection` at any
+        of these clocks is a hit.  The array equals ``connection_many`` of
+        the same clock grid element-for-element."""
+        if self._afh_seen_generation != self.registry.generation:
+            self._bind_shared_memo()
+        clks = clk_start + 2 * np.arange(window, dtype=np.int64)
+        freqs = self.connection_many(clks)
+        memo = self._connection_memo
+        if len(memo) + window > self._MEMO_MAX:
+            memo.clear()
+        memo.update(zip(clks.tolist(), freqs.tolist()))
+        return freqs
+
     def train_frequencies(self, clke: int, koffset: int) -> list[int]:
         """The 16 distinct frequencies the train sweeps around ``clke``:
         phases CLKE16-12 + koffset + j for j = 0..15 (diagnostic helper used
@@ -476,6 +492,66 @@ class HopSelector:
                          a=self._a, b=self._b, c=self._c, d=self._d, f=0)
             for phase in phases
         ]
+
+
+def connection_windows_many(selectors: list[HopSelector],
+                            clk_starts: np.ndarray,
+                            window: int) -> np.ndarray:
+    """Batched connection-mode selection over **many addresses** at once.
+
+    Row ``i`` holds ``window`` frequencies of ``selectors[i]``'s hop
+    sequence starting at ``clk_starts[i]`` (stride 2 CLK ticks, the slot
+    loops' query grid).  The per-address kernel constants (A..F) are
+    stacked into one ``(n_addresses, 1)`` column each, so the first adder,
+    XOR, PERM5 butterfly and final adder of *every* piconet run as one
+    array pass over the whole ``(n_addresses, window)`` clock grid — the
+    SoA slot engine's whole-world hop prefill.  Each row is
+    element-for-element equal to the selector's own
+    :meth:`HopSelector.connection` / :meth:`HopSelector.connection_many`
+    (the AFH remap is applied per row from the selector's registry), and
+    every row is folded into the shared per-address memo, so subsequent
+    scalar lookups anywhere in the world are hits.
+    """
+    if not selectors:
+        return np.zeros((0, window), dtype=np.int64)
+    starts = np.asarray(clk_starts, dtype=np.int64).reshape(-1, 1)
+    if starts.shape[0] != len(selectors):
+        raise ValueError("one clk_start per selector required")
+    clks = starts + 2 * np.arange(window, dtype=np.int64)
+
+    def column(values: list[int]) -> np.ndarray:
+        return np.asarray(values, dtype=np.int64).reshape(-1, 1)
+
+    a0 = column([s._a for s in selectors])
+    b0 = column([s._b for s in selectors])
+    c0 = column([s._c for s in selectors])
+    d0 = column([s._d for s in selectors])
+    e0 = column([s._e for s in selectors])
+    x = (clks >> 2) & 0x1F
+    y1 = (clks >> 1) & 1
+    a = a0 ^ ((clks >> 21) & 0x1F)
+    c = c0 ^ ((clks >> 16) & 0x1F)
+    d = d0 ^ ((clks >> 7) & 0x1FF)
+    f = (16 * ((clks >> 7) & 0x1FFFFF)) % units.NUM_CHANNELS
+    z1 = (x + a) % 32
+    z2 = z1 ^ (b0 & 0xF) ^ (y1 * 0b10000)
+    z3 = perm5_many(z2, (c << 9) | d)
+    index = (z3 + e0 + f + 32 * y1) % units.NUM_CHANNELS
+    freqs = _CHANNEL_REGISTER_ARRAY[index]
+
+    for row, selector in enumerate(selectors):
+        if selector._afh_seen_generation != selector.registry.generation:
+            selector._bind_shared_memo()
+        afh = selector.registry.afh_map(selector.address)
+        if afh is not None:
+            remap = ~afh.used_mask[freqs[row]]
+            if remap.any():
+                freqs[row, remap] = afh.register[index[row, remap] % afh.n_used]
+        memo = selector._connection_memo
+        if len(memo) + window > HopSelector._MEMO_MAX:
+            memo.clear()
+        memo.update(zip(clks[row].tolist(), freqs[row].tolist()))
+    return freqs
 
 
 _GIAC_SELECTOR = HopSelector(GIAC_LAP)

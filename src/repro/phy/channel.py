@@ -318,29 +318,7 @@ class Channel(Module):
         if cap is not None:
             cap.tx_start(now, tx)
 
-        if self.sir_capture and not (self._capture_trivial
-                                     and power_dbm == 0.0):
-            self._capture_trivial = False  # a custom-power tx is now live
-            self._resolve_capture(tx, now)
-        else:
-            # binary overlap resolution: any live overlap on the same
-            # frequency corrupts both transmissions unconditionally.
-            # Serves as the legacy reference resolver (sir_capture=False)
-            # *and* as the capture model's degenerate fast path (see
-            # _capture_trivial) — the equivalence the capture suite pins.
-            live = self._active_by_freq.setdefault(freq, {})
-            for other in live.values():
-                if other.end_ns <= now:  # expiry event not yet fired
-                    continue
-                if cap is not None:
-                    if not other.corrupted:
-                        cap.capture_loss(now, other)
-                    if not tx.corrupted:
-                        cap.capture_loss(now, tx)
-                other.corrupted = True
-                tx.corrupted = True
-                self.collisions += 1
-            live[id(tx)] = tx
+        self._resolve(tx, now, power_dbm)
 
         # Scan for listeners one delta cycle later, so that receivers being
         # retuned/opened by other events at this same instant (e.g. a slave
@@ -350,6 +328,38 @@ class Channel(Module):
         self.sim.schedule_delta(partial(self._scan_listeners, tx))
         self.sim.schedule_abs(now + tx.duration_ns, partial(self._expire, tx))
         return tx
+
+    def _resolve(self, tx: Transmission, now: int, power_dbm: float) -> None:
+        """Admit ``tx`` into the live set through the applicable resolver —
+        the single overlap-resolution entry point, shared by the scalar
+        :meth:`transmit` path and the SoA slot engine's micro stepping."""
+        if self.sir_capture and not (self._capture_trivial
+                                     and power_dbm == 0.0):
+            self._capture_trivial = False  # a custom-power tx is now live
+            self._resolve_capture(tx, now)
+        else:
+            self._resolve_trivial(tx, now)
+
+    def _resolve_trivial(self, tx: Transmission, now: int) -> None:
+        """Binary overlap resolution: any live overlap on the same
+        frequency corrupts both transmissions unconditionally.  Serves as
+        the legacy reference resolver (``sir_capture=False``) *and* as the
+        capture model's degenerate fast path (see ``_capture_trivial``) —
+        the equivalence the capture suite pins."""
+        cap = self.capture
+        live = self._active_by_freq.setdefault(tx.freq, {})
+        for other in live.values():
+            if other.end_ns <= now:  # expiry event not yet fired
+                continue
+            if cap is not None:
+                if not other.corrupted:
+                    cap.capture_loss(now, other)
+                if not tx.corrupted:
+                    cap.capture_loss(now, tx)
+            other.corrupted = True
+            tx.corrupted = True
+            self.collisions += 1
+        live[id(tx)] = tx
 
     def _resolve_capture(self, tx: Transmission, now: int) -> None:
         """Carrier-offset SIR capture resolution for a new transmission.

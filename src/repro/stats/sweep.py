@@ -36,6 +36,7 @@ from repro.stats.montecarlo import (
     TrialOutcome,
     derive_seed,
 )
+from repro.sim.soa import configured_engine
 from repro.stats.store import ResultStore, map_with_store
 
 #: Stream tag separating per-point master seeds from trial seeds.
@@ -242,12 +243,18 @@ def campaign_spec(
 
     Everything that determines the task queue and its outcomes: per sweep,
     the master seed, trial count, seed formula, x grid and trial-function
-    name.  :func:`~repro.stats.store.campaign_digest` of this dict is the
+    name — plus the configured simulation engine, because a journal
+    holding object-kernel outcomes must not be resumed under
+    ``REPRO_ENGINE=soa`` (or vice versa): the engines are byte-identical
+    by contract, but a digest mismatch is the cheap, load-bearing guard
+    if that contract ever regresses.
+    :func:`~repro.stats.store.campaign_digest` of this dict is the
     binding a result journal's header carries — change any of it and a
     stale journal is refused instead of silently mixing campaigns.
     """
     return {
         "version": 1,
+        "engine": configured_engine(),
         "sweeps": [
             {
                 "master_seed": sweep.master_seed,
