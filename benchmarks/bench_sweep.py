@@ -73,6 +73,14 @@ INTERFERENCE_JOBS = (1, 4)
 DENSE_PICONETS = 20
 DENSE_OBSERVE_SLOTS = 800
 
+#: Spatial workload: the same 20-piconet dense point with the piconets
+#: spread on a deployment ring and the log-distance PHY resolving every
+#: (transmitter, listener) pair — the per-pair link-budget price tag,
+#: measured against the flat dense point.  2 m keeps the deployment
+#: dense (neighbouring pairs inside each other's capture zone), so the
+#: spatial resolver does real work rather than fast-pathing empties.
+SPATIAL_BENCH_RADIUS_M = 2.0
+
 #: AFH workload: 8 co-located piconets next to a 20-channel static
 #: interferer, measured with AFH off and on (same seed, identical
 #: bring-up).  The archived entry pins the recovery — AFH-on aggregate
@@ -351,6 +359,75 @@ def _run_capture_overhead(chunk_slots: int = 50) -> dict:
     }
 
 
+def _measure_spatial_dense_point(engine: str) -> tuple[float, int, tuple]:
+    """Wall clock, kernel events and physical outcome of the dense point
+    deployed on a ``SPATIAL_BENCH_RADIUS_M`` ring with the log-distance
+    PHY (same seed and window as the flat dense point)."""
+    saved = os.environ.get(ENGINE_ENV_VAR)
+    os.environ[ENGINE_ENV_VAR] = engine
+    try:
+        session, pairs = ext_interference.build_spatial_session(
+            DENSE_PICONETS, SPATIAL_BENCH_RADIUS_M, seed=606)
+    finally:
+        if saved is None:
+            os.environ.pop(ENGINE_ENV_VAR, None)
+        else:
+            os.environ[ENGINE_ENV_VAR] = saved
+    before = session.sim.events_dispatched
+    gc.collect()
+    start = time.perf_counter()
+    session.run_slots(DENSE_OBSERVE_SLOTS)
+    wall = time.perf_counter() - start
+    events = session.sim.events_dispatched - before
+    outcome = (
+        session.channel.collisions,
+        session.channel.transmissions,
+        tuple(slave.rx_buffer.total_bytes for _, slave in pairs),
+    )
+    return wall, events, outcome
+
+
+def _run_spatial_bench(rounds: int = 3) -> dict:
+    """The dense point geometry-on vs flat, plus the engine-identity
+    check on the spatial world.
+
+    Flat and spatial are measured adjacently within each round (the same
+    pairing discipline as the other dense comparisons) and the best
+    paired ratio is archived — the per-pair link-budget resolution has a
+    price, and this pins how much of the flat rate survives it.  The
+    spatial point additionally runs on the SoA engine each round; its
+    outcomes must be byte-identical to the object kernel's (the engine
+    contract extends to spatial worlds)."""
+    best: dict = {}
+    engine_outcomes: set = set()
+    for _ in range(rounds):
+        flat_wall, flat_events, _ = _measure_engine_dense_point("object")
+        geo_wall, geo_events, geo_outcome = \
+            _measure_spatial_dense_point("object")
+        _, _, soa_outcome = _measure_spatial_dense_point("soa")
+        engine_outcomes.update((geo_outcome, soa_outcome))
+        flat_rate = flat_events / flat_wall
+        geo_rate = geo_events / geo_wall
+        ratio = geo_rate / flat_rate
+        if not best or ratio > best["ratio_geometry_vs_flat"]:
+            best = {
+                "flat": {"wall_s": round(flat_wall, 4),
+                         "events_per_s": round(flat_rate)},
+                "geometry": {"wall_s": round(geo_wall, 4),
+                             "events_per_s": round(geo_rate)},
+                "ratio_geometry_vs_flat": ratio,
+            }
+    best["ratio_geometry_vs_flat"] = round(best["ratio_geometry_vs_flat"], 3)
+    return {
+        "piconets": DENSE_PICONETS,
+        "observe_slots": DENSE_OBSERVE_SLOTS,
+        "radius_m": SPATIAL_BENCH_RADIUS_M,
+        "rounds": rounds,
+        **best,
+        "outcomes_identical_across_engines": len(engine_outcomes) == 1,
+    }
+
+
 def _run_afh_workload() -> dict:
     """The 8-piconet AFH workload: aggregate goodput next to a 20-channel
     static interferer with AFH off vs on (same seed, identical bring-up).
@@ -482,6 +559,7 @@ def _run_bench() -> dict:
         "kernel": _run_piconet_kernel(),
         "interference": _run_interference_bench(trials),
         "soa": _run_soa_engine_bench(),
+        "spatial": _run_spatial_bench(),
         "afh": _run_afh_workload(),
         "timeline": _run_capture_overhead(),
     }
@@ -497,6 +575,9 @@ _SCHEMA_KEYS = {
     "interference": ("workload", "jobs", "identical_across_jobs", "dense"),
     "soa": ("piconets", "observe_slots", "object", "soa",
             "speedup_soa_vs_object", "outcomes_identical"),
+    "spatial": ("piconets", "observe_slots", "radius_m", "flat", "geometry",
+                "ratio_geometry_vs_flat",
+                "outcomes_identical_across_engines"),
     "afh": ("workload", "off", "on", "goodput_ratio_on_vs_off"),
     "timeline": ("piconets", "capture_off", "capture_on", "ratio_on_vs_off",
                  "outcomes_identical"),
@@ -523,6 +604,10 @@ def _check_schema(current: dict) -> None:
                 f"BENCH_sweep.json missing soa.{engine}.{key}"
     assert "micro_events" in current["soa"]["soa"], \
         "BENCH_sweep.json missing soa.soa.micro_events"
+    for side in ("flat", "geometry"):
+        for key in ("wall_s", "events_per_s"):
+            assert key in current["spatial"][side], \
+                f"BENCH_sweep.json missing spatial.{side}.{key}"
     for mode in ("off", "on"):
         for key in ("wall_s", "goodput_kbps", "mean_hop_set"):
             assert key in current["afh"][mode], \
@@ -579,6 +664,12 @@ def bench_sweep_scaling(benchmark, capsys):
               f"{soa['soa']['events_per_s']:,} obj-events/s vs "
               f"{soa['object']['events_per_s']:,} object kernel "
               f"({soa['speedup_soa_vs_object']}x best paired round)")
+        spatial = results["spatial"]
+        print(f"spatial ({spatial['piconets']} piconets, "
+              f"{spatial['radius_m']:g} m ring): "
+              f"{spatial['geometry']['events_per_s']:,} events/s geometry vs "
+              f"{spatial['flat']['events_per_s']:,} flat "
+              f"({spatial['ratio_geometry_vs_flat']}x best paired round)")
         afh = results["afh"]
         print(f"afh ({afh['workload']['piconets']} piconets, "
               f"{afh['workload']['jammed_channels']} jammed): "
@@ -624,6 +715,16 @@ def bench_sweep_scaling(benchmark, capsys):
     assert soa["speedup_soa_vs_object"] >= 1.0, (
         f"SoA engine slower than the object kernel on the dense point "
         f"({soa['speedup_soa_vs_object']}x)")
+    # the engine contract extends to spatial worlds: the SoA micro-kernel
+    # must produce the object kernel's bytes with per-pair link budgets
+    # in play; the recorded geometry-vs-flat ratio tracks what the
+    # per-pair resolution costs (no floor asserted — it is a price tag,
+    # not an optimization — but the measurement must be non-degenerate)
+    spatial = results["spatial"]
+    assert spatial["outcomes_identical_across_engines"], \
+        "SoA engine diverged from the object kernel on the spatial point"
+    assert spatial["geometry"]["events_per_s"] > 0
+    assert spatial["ratio_geometry_vs_flat"] > 0
     # AFH must pay for itself under a static interferer: the adaptive hop
     # set recovers goodput the fixed 79-channel sequence keeps losing
     afh = results["afh"]

@@ -32,6 +32,7 @@ from repro.link.inquiry import InquiryResult
 from repro.link.page import PageResult, PageTarget
 from repro.lm.hci import HostController
 from repro.phy.channel import Channel
+from repro.phy.geometry import Position, Topology
 from repro.power.rf_activity import RfActivityProbe
 from repro.sim.capture import TimelineCapture
 from repro.sim.rng import RandomStreams
@@ -113,6 +114,34 @@ class Session:
             self.trace.watch(device.rf.enable_rx)
             self.trace.watch(device.sig_state)
         return device
+
+    def install_topology(self, model=None, mobility=None,
+                         cadence_slots: int = 64) -> Topology:
+        """Install the world's spatial topology and return it.
+
+        ``model`` is a :class:`~repro.phy.geometry.PathLossModel`
+        (default: log-distance); ``mobility`` an optional
+        :class:`~repro.phy.geometry.WaypointMobility` whose routes are
+        re-resolved every ``cadence_slots`` slots.  With a topology in
+        place the channel resolves rx power per (transmitter, listener)
+        pair; a :class:`~repro.phy.geometry.FlatLoss` model keeps the
+        world byte-identical to an un-placed one (the contract the
+        geometry equivalence suite pins)."""
+        topology = Topology(model=model, mobility=mobility,
+                            cadence_slots=cadence_slots)
+        self.channel.set_topology(topology)
+        return topology
+
+    @property
+    def topology(self) -> Optional[Topology]:
+        """The installed topology, or None (flat world)."""
+        return self.channel.topology
+
+    def place(self, device, xy) -> Position:
+        """Place a device (or a raw topology key) at ``xy`` metres,
+        installing a default log-distance topology on first use."""
+        key = device.addr if isinstance(device, BluetoothDevice) else device
+        return self.channel.ensure_topology().place(key, xy)
 
     def host(self, device: BluetoothDevice) -> HostController:
         """An HCI-style facade for a device."""

@@ -80,6 +80,7 @@ RECOVERY_SLOTS = 16000
 
 def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
                       n_piconets: int = 1, probe_interval: int = 0,
+                      jam_distance_m: Optional[float] = None,
                       capture: bool = False) -> tuple[Session, list]:
     """``n_piconets`` saturated DM1 master/slave piconets next to
     ``n_jammed`` statically jammed channels.
@@ -90,6 +91,16 @@ def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
     through the hop-set adaptation — each master runs its own classifier.
     ``probe_interval`` enables probing re-admission (the recovery phase);
     ``capture`` turns on the event timeline for drill-down archiving.
+
+    ``jam_distance_m`` places the scenario on the spatial layer: the
+    pairs sit at the origin (slaves 1 m east of their masters) and the
+    jammer at ``(jam_distance_m, 0)``, so its received floor decays with
+    the default log-distance model instead of landing at full strength —
+    a jammer within roughly the pair spacing still destroys jammed hops,
+    one a few metres out is attenuated below the capture threshold.  The
+    default ``None`` keeps the world flat and byte-identical to every
+    run recorded before the spatial layer existed.
+
     Shared by :func:`run_point`, the AFH workload of
     ``benchmarks/bench_sweep.py`` and the AFH test suite.
     """
@@ -102,9 +113,18 @@ def build_afh_session(n_jammed: int, afh_enabled: bool, seed: int,
     session = Session(config=config, capture=capture)
     pairs = [page_up_pair(session, index, label="afh")
              for index in range(n_piconets)]
+    jam_position = None
+    if jam_distance_m is not None:
+        from repro.phy.geometry import Position
+        topology = session.install_topology()
+        for index, (master, slave) in enumerate(pairs):
+            topology.place(master.addr, Position(0.0, 2.0 * index))
+            topology.place(slave.addr, Position(1.0, 2.0 * index))
+        jam_position = Position(jam_distance_m, 0.0)
     if n_jammed:
         session.channel.add_static_interferer(range(n_jammed),
-                                              power_dbm=JAM_POWER_DBM)
+                                              power_dbm=JAM_POWER_DBM,
+                                              position=jam_position)
     for master, _ in pairs:
         SaturatedTraffic(master, 1, ptype=PacketType.DM1).start()
     return session, pairs

@@ -44,6 +44,9 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
                   "power per lifecycle phase (inquiry..park)"),
     "ext_interference": (ext_interference.run,
                          "goodput degradation vs co-located piconets"),
+    "ext_interference_spatial": (
+        ext_interference.run_spatial,
+        "PER vs deployment radius/density on the log-distance PHY"),
     "ext_afh": (ext_afh.run,
                 "AFH goodput recovery vs statically jammed channels"),
     "ablation_rf_delay": (ablation_rf_delay.run,

@@ -76,6 +76,7 @@ class BluetoothDevice(Module):
         self.hop_selector = HopSelector(addr.hop_address, self.hop_registry)
         self.rf = RfFrontEnd(sim, "rf", self, channel, self.clock)
         self.rf.listener = self
+        self.rf.topo_key = addr  # spatial layer: positions key on BD_ADDR
         self.sig_state: Signal[str] = self.signal("state", DeviceState.STANDBY.value)
         self.state = DeviceState.STANDBY
 
@@ -103,6 +104,19 @@ class BluetoothDevice(Module):
     def rng(self, stream_name: str) -> np.random.Generator:
         """A named random stream scoped to this device."""
         return self._rngs.stream(stream_name)
+
+    def place(self, xy):
+        """Place this device at ``xy`` (metres) in the world's topology,
+        installing a default log-distance topology on first use.  Returns
+        the stored :class:`~repro.phy.geometry.Position`."""
+        return self.channel.ensure_topology().place(self.addr, xy)
+
+    @property
+    def position(self):
+        """This device's registered position, or None when unplaced (or
+        the world has no topology)."""
+        topology = self.channel.topology
+        return None if topology is None else topology.position_of(self.addr)
 
     def set_state(self, state: DeviceState) -> None:
         """Record a link-controller state change (traced)."""

@@ -176,3 +176,19 @@ class Piconet:
             if link.addr == addr:
                 return link
         return None
+
+    def place(self, topology, center, spread_m: float = 1.0) -> dict:
+        """Place the whole piconet in ``topology``: master at ``center``,
+        active slaves evenly spread on a ring of ``spread_m`` around it
+        (the typical intra-piconet scale is a metre or two; neighbouring
+        piconets are what the deployment-level layout helpers separate).
+        Returns the ``addr → Position`` mapping."""
+        from repro.phy.geometry import ring_layout
+
+        placed = {self.master_addr: topology.place(self.master_addr, center)}
+        links = sorted(self.slaves.values(), key=lambda link: link.am_addr)
+        if links:
+            ring = ring_layout(len(links), spread_m, center)
+            for link, position in zip(links, ring):
+                placed[link.addr] = topology.place(link.addr, position)
+        return placed

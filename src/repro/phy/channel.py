@@ -51,9 +51,10 @@ thousands of these per second):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import partial
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.baseband.codec import (
     DecodeResult,
@@ -68,6 +69,7 @@ from repro.baseband.packets import Packet, PacketType
 from repro.baseband.timing import HEADER_DECISION_NS, SYNC_DECISION_NS
 from repro.config import SimulationConfig
 from repro.errors import ChannelError
+from repro.phy.geometry import Position, Topology
 from repro.phy.noise import BerNoise, GilbertElliottNoise, NoiseModel
 from repro.phy.rf import RfFrontEnd
 from repro.phy.transmission import Transmission, TxMeta
@@ -189,6 +191,16 @@ class Channel(Module):
         # static interference floor per RF channel (linear mW), lazily
         # allocated by add_static_interferer
         self._static_mw: list[float] | None = None
+        # spatial layer: the per-world topology (None → flat world) and
+        # the hot-path flag the resolvers and stage deliveries branch on.
+        # A FlatLoss topology keeps _spatial False, so placement alone
+        # never moves an outcome — only a lossy model does.
+        self._topology: Topology | None = None
+        self._spatial = False
+        # per-source static interference for the spatial resolver: each
+        # entry is (79-float ACI-spread mW array, Position | None); the
+        # per-listener floor folds in each source's path gain lazily
+        self._static_sources: list[tuple[list[float], Position | None]] = []
         # On the degenerate profile, while every transmission uses the
         # default 0 dBm and no static interferer exists, the capture
         # resolution of an overlap is *provably* "corrupt both" — so the
@@ -250,21 +262,55 @@ class Channel(Module):
                 self._pending.pop(key, None)
 
     # ------------------------------------------------------------------
+    # Spatial layer
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology | None:
+        """The installed :class:`~repro.phy.geometry.Topology`, or None."""
+        return self._topology
+
+    def set_topology(self, topology: Topology | None) -> None:
+        """Install (or remove) the world's spatial topology.
+
+        A lossy topology switches the resolver to per-(transmitter,
+        listener) link budgets (``rx_mw = tx_mw × gain(src, dst)``); a
+        :class:`~repro.phy.geometry.FlatLoss` topology — or None — keeps
+        the flat resolvers, byte-identical to a world that never called
+        this.
+        """
+        self._topology = topology
+        self._spatial = topology is not None and topology.is_spatial
+
+    def ensure_topology(self) -> Topology:
+        """The installed topology, creating a default log-distance one on
+        first use (the auto-install behind ``Device.place``)."""
+        if self._topology is None:
+            self.set_topology(Topology())
+        return self._topology
+
+    # ------------------------------------------------------------------
     # Transmit path
     # ------------------------------------------------------------------
 
     def add_static_interferer(self, channels: Iterable[int],
-                              power_dbm: float = 0.0) -> None:
+                              power_dbm: float = 0.0,
+                              position: Optional[Position] = None) -> None:
         """Park a constant interferer on a set of RF channels.
 
-        Every subsequent transmission sees ``power_dbm`` of interference on
-        each of the given channels (plus the ACI-attenuated spill onto
-        their ±1/±2 MHz neighbours when the configured rejection is
-        finite) for its whole time on air — the dense-deployment model of
-        e.g. a Wi-Fi carrier or a microwave oven, and the workload the
-        ``ext_afh`` experiment recovers from.  Requires the SIR capture
-        resolver (:attr:`sir_capture`); the legacy binary resolver has no
-        notion of non-Bluetooth energy.
+        Every transmission — including any already in the air — sees
+        ``power_dbm`` of interference on each of the given channels (plus
+        the ACI-attenuated spill onto their ±1/±2 MHz neighbours when the
+        configured rejection is finite) for its whole time on air — the
+        dense-deployment model of e.g. a Wi-Fi carrier or a microwave
+        oven, and the workload the ``ext_afh`` experiment recovers from.
+        Requires the SIR capture resolver (:attr:`sir_capture`); the
+        legacy binary resolver has no notion of non-Bluetooth energy.
+
+        ``position`` places the source in the world's topology: spatial
+        worlds then attenuate its energy by each listener's path gain.
+        Positionless sources (or flat worlds) are heard at configured
+        power everywhere.
         """
         if not self.sir_capture:
             raise ChannelError(
@@ -277,13 +323,47 @@ class Channel(Module):
         power = _dbm_to_mw(power_dbm)
         if self._static_mw is None:
             self._static_mw = [0.0] * 79
+        spread = [0.0] * 79
         span = self._aci_span
         for channel in channels:
             for offset in range(-span, span + 1):
                 neighbour = channel + offset
                 if 0 <= neighbour < 79:
-                    self._static_mw[neighbour] += \
-                        power * self._aci_gain[abs(offset)]
+                    spread[neighbour] += power * self._aci_gain[abs(offset)]
+        for freq in range(79):
+            self._static_mw[freq] += spread[freq]
+        self._static_sources.append((spread, position))
+        if not self._spatial:
+            self._fold_static_into_live(spread)
+
+    def _fold_static_into_live(self, spread: list[float]) -> None:
+        """Retroactively charge a just-parked interferer's energy to the
+        transmissions already on the air (flat resolvers only — the
+        spatial resolver reads the floor lazily per listener).
+
+        Without this, a packet live at switch-on never sees the jammer:
+        its ``interference_mw`` was settled at resolve time, and the
+        sticky ``_capture_trivial`` hand-over only covers *transmission*
+        overlaps (an uncorrupted trivial-regime packet provably carries
+        zero accumulated interference, which stays true here — we add the
+        floor on top of it).
+        """
+        now = self.sim.now
+        cap = self.capture
+        capture = self._capture_ratio
+        for live in self._active_by_freq.values():
+            for tx in live.values():
+                if tx.end_ns <= now:  # expiry event not yet fired
+                    continue
+                floor = spread[tx.freq]
+                if floor <= 0.0:
+                    continue
+                tx.interference_mw += floor
+                if tx.power_mw <= tx.interference_mw * capture \
+                        and not tx.corrupted:
+                    tx.corrupted = True
+                    if cap is not None:
+                        cap.capture_loss(now, tx)
 
     def clear_static_interferers(self) -> None:
         """Remove every parked static interferer — the jammer-off phase of
@@ -292,6 +372,7 @@ class Channel(Module):
         outcomes remain well-defined for transmissions already in the
         air."""
         self._static_mw = None
+        self._static_sources = []
 
     def transmit(self, radio: RfFrontEnd, freq: int, packet: Packet,
                  uap: int = 0, meta: TxMeta | None = None,
@@ -333,8 +414,10 @@ class Channel(Module):
         """Admit ``tx`` into the live set through the applicable resolver —
         the single overlap-resolution entry point, shared by the scalar
         :meth:`transmit` path and the SoA slot engine's micro stepping."""
-        if self.sir_capture and not (self._capture_trivial
-                                     and power_dbm == 0.0):
+        if self._spatial:
+            self._resolve_spatial(tx, now)
+        elif self.sir_capture and not (self._capture_trivial
+                                       and power_dbm == 0.0):
             self._capture_trivial = False  # a custom-power tx is now live
             self._resolve_capture(tx, now)
         else:
@@ -417,6 +500,110 @@ class Channel(Module):
         tx.corrupted = corrupted
         self._active_by_freq.setdefault(tx.freq, {})[id(tx)] = tx
 
+    def _resolve_spatial(self, tx: Transmission, now: int) -> None:
+        """Spatial admission: record who overlapped whom, decide nothing.
+
+        With geometry installed, destructiveness is a property of the
+        *(transmission, listener)* pair — the same overlap that buries a
+        far receiver is harmless 1 m from the wanted transmitter — so
+        resolve time only advances mobility to the current cadence epoch
+        and cross-records the overlap (``(radio, aci_attenuated_tx_mw)``
+        on both sides' ``overlap_mw`` lists).  Each listener's verdict is
+        drawn lazily and stickily by :meth:`_corrupted_for` at its staged
+        deliveries.
+
+        ``collisions`` counts air-time overlap pairs here (the per-pair
+        analogue of the flat resolver's destructive-pair count; with
+        geometry a pair's destructiveness is listener-relative, so the
+        counter reports exposure rather than damage).
+        """
+        topo = self._topology
+        topo.advance_to(now)
+        if tx.overlap_mw is None:
+            tx.overlap_mw = []
+        power = tx.power_mw
+        for offset in range(-self._aci_span, self._aci_span + 1):
+            gain = self._aci_gain[abs(offset)]
+            if gain <= 0.0:
+                continue
+            neighbour = tx.freq + offset
+            if not 0 <= neighbour < 79:
+                continue
+            live = self._active_by_freq.get(neighbour)
+            if not live:
+                continue
+            for other in live.values():
+                if other.end_ns <= now:  # expiry event not yet fired
+                    continue
+                if other.overlap_mw is None:
+                    other.overlap_mw = []
+                other.overlap_mw.append((tx.radio, power * gain))
+                tx.overlap_mw.append((other.radio, other.power_mw * gain))
+                self.collisions += 1
+        self._active_by_freq.setdefault(tx.freq, {})[id(tx)] = tx
+
+    def _static_floor_at(self, freq: int, rx_key) -> float:
+        """Per-listener static interference floor (linear mW): each parked
+        source attenuated by its path gain to the listener."""
+        total = 0.0
+        topo = self._topology
+        for spread, position in self._static_sources:
+            mw = spread[freq]
+            if mw > 0.0:
+                total += mw * topo.gain_from(position, rx_key)
+        return total
+
+    def _corrupted_for(self, tx: Transmission, listener: RfFrontEnd,
+                       now: int) -> bool:
+        """The per-(transmission, listener) capture verdict of a spatial
+        world, evaluated at each staged delivery.  ``now`` is the stage's
+        decision time — passed explicitly because the SoA micro-kernel
+        runs whole windows with the simulator clock parked at the window
+        start, so ``self.sim.now`` would stamp its capture-loss records
+        with stale times.
+
+        The listener's wanted power is ``tx.power_mw`` through the
+        src→dst path gain; interference is its static floor plus every
+        recorded overlapper through *that* overlapper's path gain to this
+        listener.  A failed capture is sticky per pair (``tx.corrupt_rx``)
+        — interference only accumulates over a packet's lifetime, so a
+        pair that loses capture mid-air stays lost, mirroring the flat
+        resolvers' sticky ``tx.corrupted`` — and emits a per-pair
+        ``capture_loss`` record carrying distance and rx power.
+        """
+        if tx.corrupted:
+            return True
+        lid = id(listener)
+        corrupt = tx.corrupt_rx
+        if corrupt is not None and lid in corrupt:
+            return True
+        topo = self._topology
+        rx_key = listener.topo_key
+        wanted = tx.power_mw * topo.gain(tx.radio.topo_key, rx_key)
+        interference = self._static_floor_at(tx.freq, rx_key) \
+            if self._static_sources else 0.0
+        overlaps = tx.overlap_mw
+        if overlaps:
+            gain = topo.gain
+            for radio, mw in overlaps:
+                interference += mw * gain(radio.topo_key, rx_key)
+        if wanted > interference * self._capture_ratio:
+            return False
+        if corrupt is None:
+            corrupt = tx.corrupt_rx = set()
+        corrupt.add(lid)
+        cap = self.capture
+        if cap is not None:
+            sir_db = (round(10.0 * math.log10(wanted / interference), 2)
+                      if wanted > 0.0 and interference > 0.0 else None)
+            rx_dbm = (round(10.0 * math.log10(wanted), 2)
+                      if wanted > 0.0 else None)
+            cap.capture_loss(now, tx, sir_db=sir_db,
+                             distance_m=topo.distance(tx.radio.topo_key,
+                                                      rx_key),
+                             rx_dbm=rx_dbm)
+        return True
+
     def _scan_listeners(self, tx: Transmission) -> None:
         fixed = self._tuned_by_freq.get(tx.freq)
         if fixed:
@@ -482,7 +669,9 @@ class Channel(Module):
                       result: DecodeResult) -> None:
         """Post-decode half of the sync stage: deliver the decision and
         schedule the header stage when the listener stays locked."""
-        matched = result.synced and not tx.corrupted
+        matched = result.synced and not tx.corrupted and not (
+            self._spatial and self._corrupted_for(tx, listener,
+                                                  self.sim.now))
         listener.deliver_sync(tx, matched)
 
         if tx.packet.ptype is PacketType.ID:
@@ -531,12 +720,14 @@ class Channel(Module):
         result = self._pending.get((id(tx), id(listener)))
         if result is None or listener.locked_tx is not tx:
             return
+        corrupted = tx.corrupted or (
+            self._spatial and self._corrupted_for(tx, listener, self.sim.now))
         am_addr = result.packet.am_addr if (result.header_ok and result.packet) else None
-        if tx.corrupted:
+        if corrupted:
             am_addr = None
         keep = True
         if listener.listener is not None and hasattr(listener.listener, "on_header"):
-            keep = bool(listener.listener.on_header(tx, result.header_ok and not tx.corrupted, am_addr))
+            keep = bool(listener.listener.on_header(tx, result.header_ok and not corrupted, am_addr))
         if not keep:
             self._pop_pending(tx, listener)
             listener.locked_tx = None
@@ -553,11 +744,13 @@ class Channel(Module):
 
     def _deliver_end(self, tx: Transmission, listener: RfFrontEnd,
                      result: DecodeResult) -> None:
-        if tx.corrupted:
+        corrupted = tx.corrupted or (
+            self._spatial and self._corrupted_for(tx, listener, self.sim.now))
+        if corrupted:
             # resolver 'X': whatever the stage draw said, the frame is junk
             result = DecodeResult(synced=result.synced, header_ok=False,
                                   payload_ok=False, packet=None, stage="header")
-        reception = Reception(tx=tx, result=result, collided=tx.corrupted,
+        reception = Reception(tx=tx, result=result, collided=corrupted,
                               rx_time_ns=self.sim.now)
         listener.deliver_end(reception)
 

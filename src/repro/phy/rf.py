@@ -61,6 +61,10 @@ class RfFrontEnd(Module):
         self.locked_tx: Optional["Transmission"] = None
         self.listener = None  # set by the link controller
         self.attach_index = -1  # assigned by Channel.attach
+        # spatial-layer identity: the Topology key this radio's position
+        # is registered under (devices set their BdAddr; None = unplaced,
+        # which the topology maps to unit gain)
+        self.topo_key = None
         self._tx_until_ns = -1
         channel.attach(self)
 

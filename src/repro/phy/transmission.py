@@ -53,6 +53,15 @@ class Transmission:
         interference_mw: linear interference power accumulated by the
             resolver over the packet's time on air (co-channel plus
             ACI-attenuated adjacent-channel contributions).
+        overlap_mw: spatial worlds only — the ``(radio, tx_mw)`` list of
+            concurrent transmissions that overlapped this one (already
+            ACI-attenuated); each listener folds in its own path gain
+            lazily, so corruption becomes a per-(tx, listener) verdict.
+            None in flat worlds.
+        corrupt_rx: spatial worlds only — ``id(listener)`` set of
+            receivers for which this transmission is already known
+            corrupted (the sticky per-pair analogue of ``corrupted``).
+            None in flat worlds.
         meta: link-layer side information.
     """
 
@@ -67,6 +76,8 @@ class Transmission:
     corrupted: bool = False
     power_mw: float = 1.0
     interference_mw: float = 0.0
+    overlap_mw: Optional[list] = None
+    corrupt_rx: Optional[set] = None
     meta: TxMeta = field(default_factory=TxMeta)
 
     @property

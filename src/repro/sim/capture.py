@@ -49,17 +49,28 @@ if TYPE_CHECKING:  # pragma: no cover
 KINDS = ("hop", "tx_start", "tx_end", "capture_loss", "arq_retx",
          "afh_map", "assess")
 
+#: Timeline record schema version.  v2 added the spatial-layer
+#: ``distance_m`` / ``rx_dbm`` details to ``capture_loss`` (None on flat
+#: worlds).  :func:`read_jsonl` reads v1 archives by filling the missing
+#: details with None.
+SCHEMA_VERSION = 2
+
 #: Detail-field names per kind, positionally matching the flat ring
 #: tuples the typed recorders append (see TimelineCapture.__init__).
 _FIELDS = {
     "hop": ("clk",),
     "tx_start": ("ptype", "purpose", "duration_ns"),
     "tx_end": ("ptype", "corrupted"),
-    "capture_loss": ("ptype", "sir_db"),
+    "capture_loss": ("ptype", "sir_db", "distance_m", "rx_dbm"),
     "arq_retx": ("am_addr", "seqn"),
     "afh_map": ("n_used", "excluded"),
     "assess": ("n_bad", "installed"),
 }
+
+#: Sentinel for "derive sir_db from the transmission's accumulated
+#: interference" (the flat resolvers' behaviour; the spatial resolver
+#: passes its per-pair SIR explicitly, where None is a valid value).
+_TX_SIR = object()
 
 
 @dataclass
@@ -173,20 +184,30 @@ class TimelineCapture:
         events.append((t_ns, "tx_end", tx.radio.path, tx.freq,
                        tx.packet.ptype, tx.corrupted))
 
-    def capture_loss(self, t_ns: int, tx: "Transmission") -> None:
+    def capture_loss(self, t_ns: int, tx: "Transmission",
+                     sir_db: Any = _TX_SIR,
+                     distance_m: Optional[float] = None,
+                     rx_dbm: Optional[float] = None) -> None:
         """The SIR capture resolver destroyed ``tx``; records the measured
         signal-to-interference ratio in dB (``None`` when the legacy
-        binary resolver corrupted it without tracking power)."""
-        if tx.interference_mw > 0.0 and tx.power_mw > 0.0:
-            sir_db = round(
-                10.0 * math.log10(tx.power_mw / tx.interference_mw), 2)
-        else:
-            sir_db = None
+        binary resolver corrupted it without tracking power).
+
+        The flat resolvers call this with the transmission alone and the
+        SIR derives from its accumulated interference; the spatial
+        resolver passes the per-(tx, listener) ``sir_db`` explicitly plus
+        the pair's ``distance_m`` and received power ``rx_dbm`` (schema
+        v2 details, None on flat worlds)."""
+        if sir_db is _TX_SIR:
+            if tx.interference_mw > 0.0 and tx.power_mw > 0.0:
+                sir_db = round(
+                    10.0 * math.log10(tx.power_mw / tx.interference_mw), 2)
+            else:
+                sir_db = None
         events = self._events
         if len(events) == self.capacity:
             self._evicted[events[0][1]] += 1
         events.append((t_ns, "capture_loss", tx.radio.path, tx.freq,
-                       tx.packet.ptype, sir_db))
+                       tx.packet.ptype, sir_db, distance_m, rx_dbm))
 
     def arq_retx(self, t_ns: int, src: str, freq: int, am_addr: int,
                  seqn: int) -> None:
@@ -291,7 +312,7 @@ class TimelineCapture:
     def to_jsonl(self, stream: io.TextIOBase) -> int:
         """Write every retained record as one JSON object per line;
         returns the number of lines written (the per-trial archive format
-        of the experiment harnesses)."""
+        of the experiment harnesses, schema :data:`SCHEMA_VERSION`)."""
         written = 0
         for row in self._events:
             t_ns, kind, src, freq = row[:4]
@@ -301,3 +322,29 @@ class TimelineCapture:
             stream.write("\n")
             written += 1
         return written
+
+
+def read_jsonl(stream: io.TextIOBase) -> list[TimelineEvent]:
+    """Read a :meth:`TimelineCapture.to_jsonl` archive back into
+    :class:`TimelineEvent` records.
+
+    Back-compat by construction: detail fields a record does not carry —
+    e.g. the schema-v2 ``distance_m``/``rx_dbm`` on a v1
+    ``capture_loss`` — are filled with None, so old archives read
+    losslessly under the current schema.  Unknown kinds and extra fields
+    are preserved as-is (forward compat for newer archives).
+    """
+    out = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        kind = raw.pop("kind")
+        t_ns = raw.pop("t_ns")
+        src = raw.pop("src")
+        freq = raw.pop("freq", None)
+        for name in _FIELDS.get(kind, ()):
+            raw.setdefault(name, None)
+        out.append(TimelineEvent(t_ns, kind, src, freq, raw))
+    return out

@@ -249,6 +249,9 @@ class SlotEngine:
         self.windows_declined = 0
         self.micro_events = 0
         self._world: Optional[np.ndarray] = None
+        #: Pairwise gain matrix of the last absorbed spatial window (row
+        #: order = masters + slaves); None on flat worlds.
+        self.gain_snapshot = None
 
     # -- public entry ---------------------------------------------------
 
@@ -286,6 +289,12 @@ class SlotEngine:
             return None
         channel = session.channel
         if channel._following:
+            return None
+        topology = channel._topology
+        if topology is not None and topology.mobility is not None:
+            # positions churn on the mobility cadence mid-window; the
+            # object kernel re-resolves them per transmission, so mobile
+            # worlds decline absorption rather than model the epochs here
             return None
         masters: list[_MasterState] = []
         slaves: list[_SlaveState] = []
@@ -464,6 +473,15 @@ class SlotEngine:
         sim._queue._live = 0
         heapq.heapify(micro)
 
+        if channel._spatial:
+            # snapshot the pairwise gain matrix for the window: placements
+            # are static under the gate (mobility declines absorption), so
+            # one warm pass leaves the micro loop's per-pair link-budget
+            # verdicts on pure cache hits — identical-by-contract to the
+            # object kernel's lazy per-stage gain reads
+            self.gain_snapshot = channel._topology.snapshot(
+                [st.rf.topo_key for st in masters + slaves])
+
         self._refresh_world(masters, slaves, now)
         self._prefill_hops(masters, slaves, now, until_ns)
         return micro, by_rf, masters, slaves, list(traffic_states.values())
@@ -564,6 +582,12 @@ class SlotEngine:
         listen_keys = channel._listen_keys
         active_by_freq = channel._active_by_freq
         resolve = channel._resolve
+        # spatial worlds: per-(tx, listener) capture verdicts, drawn
+        # through the shared channel method so the sticky sets, capture
+        # records and gain-cache reads are byte-identical to the object
+        # kernel (the snapshot in _try_absorb pre-warmed the cache)
+        spatial = channel._spatial
+        corrupted_for = channel._corrupted_for
         push = heapq.heappush
         pop = heapq.heappop
         seq = sim._queue._sequence
@@ -646,6 +670,8 @@ class SlotEngine:
             tx.corrupted = False
             tx.power_mw = 1.0
             tx.interference_mw = 0.0
+            tx.overlap_mw = None
+            tx.corrupt_rx = None
             if bit_accurate:
                 tx.air_bits = encode_packet(packet, uap=uap, clk=tx.tx_clk)
             channel.transmissions += 1
@@ -699,12 +725,13 @@ class SlotEngine:
             return result
 
         def sync_deliver(tx: Transmission, listener: RfFrontEnd,
-                         result) -> None:
+                         result, now: int) -> None:
             # mirrors Channel._sync_deliver + RfFrontEnd.deliver_sync +
             # the handlers' on_sync (ID packets are gated out of absorb)
             nonlocal seq
             lid = id(listener)
-            matched = result.synced and not tx.corrupted
+            matched = result.synced and not tx.corrupted and not (
+                spatial and corrupted_for(tx, listener, now))
             if not matched \
                     and by_rf[lid].__class__ is slave_cls:
                 rx_off(listener, lid)  # ConnectionSlave.on_sync
@@ -777,7 +804,7 @@ class SlotEngine:
                     continue
                 result = fast_result(tx, listener) if fast_decode \
                     else full_decode(tx, listener)
-                sync_deliver(tx, listener, result)
+                sync_deliver(tx, listener, result, t)
 
             elif kind == k_sync_batch:
                 tx, receivers = a, b
@@ -791,7 +818,7 @@ class SlotEngine:
                 else:
                     results = full_decode_batch(tx, admitted)
                 for listener, result in zip(admitted, results):
-                    sync_deliver(tx, listener, result)
+                    sync_deliver(tx, listener, result, t)
 
             elif kind == k_header:
                 # Channel._header_stage + the handlers' on_header
@@ -801,7 +828,9 @@ class SlotEngine:
                 result = pending.get(key)
                 if result is None or listener.locked_tx is not tx:
                     continue
-                corrupted = tx.corrupted
+                corrupted = tx.corrupted or (spatial
+                                             and corrupted_for(tx, listener,
+                                                               t))
                 am = result.packet.am_addr \
                     if (result.header_ok and result.packet is not None
                         and not corrupted) else None
@@ -841,7 +870,7 @@ class SlotEngine:
                         keys.discard(key)
                 if result is None or listener.locked_tx is not tx:
                     continue
-                if tx.corrupted:
+                if tx.corrupted or (spatial and corrupted_for(tx, listener, t)):
                     result = DecodeResult(synced=result.synced,
                                           header_ok=False, payload_ok=False,
                                           packet=None, stage="header")

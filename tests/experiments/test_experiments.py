@@ -11,10 +11,11 @@ from repro.experiments.common import PAPER_BER_GRID, paper_config
 
 
 class TestRegistry:
-    def test_all_fifteen_experiments_registered(self):
+    def test_all_sixteen_experiments_registered(self):
         expected = {"fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
                     "fig11", "fig12", "ext_throughput", "ext_power",
-                    "ext_interference", "ext_afh", "ablation_rf_delay",
+                    "ext_interference", "ext_interference_spatial",
+                    "ext_afh", "ablation_rf_delay",
                     "ablation_correlator", "ablation_trains"}
         assert set(EXPERIMENTS) == expected
 

@@ -95,3 +95,61 @@ class TestMeasuredLoss:
         assert [row[-1] for row in result.rows] == ["0/2", "0/2"]
         assert all(math.isnan(row[3]) for row in result.rows), \
             "loss vs a NaN baseline must surface as NaN, not a number"
+
+
+@pytest.fixture
+def tiny_spatial_campaign(monkeypatch):
+    monkeypatch.setattr(ext_interference, "SPATIAL_RADII", [1.0, 8.0])
+    monkeypatch.setattr(ext_interference, "SPATIAL_COUNTS", [2, 8])
+    monkeypatch.setattr(ext_interference, "OBSERVE_SLOTS", 1200)
+    monkeypatch.delenv("REPRO_TRIALS", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
+class TestSpatialCampaign:
+    def test_per_falls_monotonically_with_radius(self):
+        """The acceptance curve: at fixed piconet count, opening the
+        deployment ring must never raise PER — and the widest ring must
+        be strictly better than the tightest.  Packet counts are pooled
+        over a few seeds per radius, matching the campaign's trial
+        aggregation (a single seed's loss between two radii that are
+        both inside the capture zone is hop-collision noise)."""
+        losses = []
+        for radius in [1.0, 2.0, 4.0, 8.0]:
+            tx_total = rx_total = 0
+            for seed in (5, 7, 11):
+                _, _, tx, rx, _ = ext_interference.run_spatial_point(
+                    8, radius, seed)
+                tx_total += tx
+                rx_total += rx
+            assert tx_total > 0
+            losses.append(1.0 - rx_total / tx_total)
+        assert all(a >= b - 0.005 for a, b in zip(losses, losses[1:])), \
+            f"PER must be non-increasing in radius, got {losses}"
+        assert losses[0] > losses[-1] + 0.01, \
+            "tight ring must show strictly more loss than the wide one"
+
+    def test_spread_deployment_beats_colocated(self, tiny_spatial_campaign):
+        """The spatial point at a wide radius must out-deliver the
+        co-located (flat) campaign point with the same piconet count."""
+        flat_goodput, flat_loss, *_ = ext_interference.run_point(8, 5)
+        spread_goodput, spread_loss, *_ = \
+            ext_interference.run_spatial_point(8, 8.0, 5)
+        assert spread_loss <= flat_loss
+        assert spread_goodput > 0
+
+    def test_run_spatial_reports_both_sweeps(self, tiny_spatial_campaign):
+        result = ext_interference.run_spatial(trials=2, seed=5, jobs=1)
+        labels = [row[0] for row in result.rows]
+        assert labels == ["r=1 m", "r=8 m", "n=2", "n=8"]
+        assert all(row[-1] == "2/2" for row in result.rows)
+        # radius half: wider ring no worse than the tight one
+        per_by_label = {row[0]: row[3] for row in result.rows}
+        assert per_by_label["r=8 m"] <= per_by_label["r=1 m"]
+
+    def test_registry_exposes_spatial_campaign(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        run_fn, description = EXPERIMENTS["ext_interference_spatial"]
+        assert run_fn is ext_interference.run_spatial
+        assert "PER" in description

@@ -301,6 +301,62 @@ class TestStaticInterferer:
         sim.run()
         assert not box[0].corrupted
 
+    def test_jammer_added_mid_air_corrupts_live_transmission(self):
+        """Regression: a transmission already in the air when the
+        interferer switches on must see its energy.  The old resolver
+        only folded the static floor in at ``transmit`` time, so a
+        packet straddling the switch-on sailed through untouched."""
+        sim, channel, (a, _, _) = build_world()
+        box = []
+        sim.schedule(100, lambda: box.append(a.transmit(20, _dm1())))
+        # DM1 is ~366 µs on air: 200 µs in is mid-packet
+        sim.schedule(200_000, lambda: channel.add_static_interferer([20]))
+        sim.run()
+        assert box[0].corrupted
+
+    def test_mid_air_fold_spares_other_channels_and_expired_packets(self):
+        """The mid-air fold touches only live co-channel packets: a
+        neighbour-channel packet (infinite ACI rejection) and a packet
+        that already ended stay clean; the next packet on the jammed
+        channel is corrupted through the normal parked floor."""
+        sim, channel, (a, b, c) = build_world()
+        boxes = []
+        sim.schedule(100, lambda: boxes.append(a.transmit(20, _dm1())))
+        sim.schedule(100, lambda: boxes.append(b.transmit(21, _dm1())))
+        # both packets are long gone when the jammer arrives
+        sim.schedule(1_000_000, lambda: channel.add_static_interferer([20]))
+        sim.schedule(1_100_000, lambda: boxes.append(c.transmit(20, _dm1())))
+        sim.run()
+        assert not boxes[0].corrupted
+        assert not boxes[1].corrupted
+        assert boxes[2].corrupted
+
+    def test_positioned_jammer_attenuates_with_distance(self):
+        """A placed interferer participates through the path-loss model:
+        lethal next to the receiver, harmless across the room."""
+        from repro.phy.geometry import (LogDistancePathLoss, Position,
+                                        Topology)
+
+        def run(jam_distance_m):
+            sim, channel, (a, b, _) = build_world()
+            topology = Topology(model=LogDistancePathLoss(exponent=2.0))
+            channel.set_topology(topology)
+            a.topo_key, b.topo_key = "tx", "rx"
+            topology.place("tx", (0.0, 0.0))
+            topology.place("rx", (1.0, 0.0))
+            channel.add_static_interferer(
+                [20], position=Position(1.0 + jam_distance_m, 0.0))
+            listener = Listener()
+            b.listener = listener
+            sim.schedule(0, lambda: b.rx_on(20, RxExpect(0x123456)))
+            sim.schedule(100, lambda: a.transmit(20, _dm1()))
+            sim.run()
+            return any(r.result.complete for r in listener.receptions)
+
+        # on the antenna: capture lost at the sync stage, nothing decodes
+        assert not run(0.1)
+        assert run(50.0)  # 50 m out: ~34 dB below the wanted signal
+
     def test_requires_capture_resolver(self):
         saved = Channel.sir_capture
         Channel.sir_capture = False

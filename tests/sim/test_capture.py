@@ -10,7 +10,13 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.sim.capture import KINDS, TimelineCapture, TimelineEvent
+from repro.sim.capture import (
+    KINDS,
+    SCHEMA_VERSION,
+    TimelineCapture,
+    TimelineEvent,
+    read_jsonl,
+)
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -125,6 +131,52 @@ class TestExport:
                          "freq": 9, "clk": 6}
         assert second["excluded"] == [0, 1]
         assert second["freq"] is None
+
+    def test_read_jsonl_round_trips_v2_capture_loss(self):
+        """Schema v2: the spatial resolver's per-pair distance_m/rx_dbm
+        survive the write→read cycle exactly."""
+        cap = TimelineCapture()
+        cap.capture_loss(1200, _fake_tx(), sir_db=-4.5, distance_m=2.83,
+                         rx_dbm=-49.04)
+        cap.capture_loss(1300, _fake_tx(interference_mw=2.0))  # flat caller
+        buffer = io.StringIO()
+        cap.to_jsonl(buffer)
+        buffer.seek(0)
+        spatial, flat = read_jsonl(buffer)
+        assert (spatial.t_ns, spatial.kind, spatial.freq) == \
+            (1200, "capture_loss", 17)
+        assert spatial.data["sir_db"] == -4.5
+        assert spatial.data["distance_m"] == 2.83
+        assert spatial.data["rx_dbm"] == -49.04
+        # flat-resolver records carry the v2 columns as None
+        assert flat.data["sir_db"] == pytest.approx(-3.01)
+        assert flat.data["distance_m"] is None
+        assert flat.data["rx_dbm"] is None
+
+    def test_read_jsonl_backfills_v1_records(self):
+        """A v1 archive (written before distance_m/rx_dbm existed) reads
+        losslessly: missing detail fields come back as None."""
+        v1_lines = "\n".join([
+            json.dumps({"t_ns": 500, "kind": "capture_loss", "src": "s0.rf",
+                        "freq": 40, "ptype": "DM1", "sir_db": -3.0}),
+            json.dumps({"t_ns": 900, "kind": "hop", "src": "m0",
+                        "freq": 12, "clk": 8}),
+        ])
+        loss, hop = read_jsonl(io.StringIO(v1_lines))
+        assert loss.data == {"ptype": "DM1", "sir_db": -3.0,
+                             "distance_m": None, "rx_dbm": None}
+        assert hop.data == {"clk": 8}
+
+    def test_schema_version_is_pinned(self):
+        # bump this alongside any _FIELDS change, with a back-compat test
+        assert SCHEMA_VERSION == 2
+
+    def test_read_jsonl_preserves_unknown_kinds_and_fields(self):
+        lines = json.dumps({"t_ns": 1, "kind": "from_the_future",
+                            "src": "x", "freq": None, "novel": 7})
+        (event,) = read_jsonl(io.StringIO(lines))
+        assert event.kind == "from_the_future"
+        assert event.data == {"novel": 7}
 
 
 class TestDescribe:
